@@ -1,0 +1,46 @@
+// Command xlupc-cache runs the address-cache size study of the paper's
+// Figure 8: hit rates of the Pointer and Neighborhood stressmarks as
+// the machine grows, for cache capacities 4, 10 and 100.
+//
+// Usage:
+//
+//	xlupc-cache                       # both panels up to 512-128
+//	xlupc-cache -mark pointer -maxthreads 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xlupc/internal/bench"
+)
+
+func main() {
+	mark := flag.String("mark", "both", "stressmark: pointer, neighborhood or both")
+	maxThreads := flag.Int("maxthreads", 512, "largest thread count of the sweep (paper: 2048)")
+	capsFlag := flag.String("caps", "4,10,100", "comma-separated cache capacities")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var caps []int
+	for _, c := range strings.Split(*capsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xlupc-cache: bad capacity %q\n", c)
+			os.Exit(2)
+		}
+		caps = append(caps, v)
+	}
+	scales := bench.GMScales(*maxThreads)
+	marks := []string{"pointer", "neighborhood"}
+	if *mark != "both" {
+		marks = []string{*mark}
+	}
+	for _, m := range marks {
+		bench.PrintFig8(os.Stdout, m, scales, caps, *seed)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Command xlupc-micro runs the GET/PUT latency microbenchmarks of the
+// paper's Figures 6 and 7 and the miss-overhead measurement of §6.
+//
+// Usage:
+//
+//	xlupc-micro -op get            # Figure 6, GET panel (both transports)
+//	xlupc-micro -op put            # Figure 6, PUT panel
+//	xlupc-micro -absolute          # Figure 7 (absolute small-message GET latency)
+//	xlupc-micro -missoverhead      # §6 miss-overhead claim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xlupc/internal/bench"
+	"xlupc/internal/transport"
+)
+
+func main() {
+	op := flag.String("op", "get", "operation for the Figure 6 sweep: get or put")
+	reps := flag.Int("reps", 20, "measured repetitions per point")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	absolute := flag.Bool("absolute", false, "emit Figure 7 (absolute latencies) instead")
+	miss := flag.Bool("missoverhead", false, "emit the miss-overhead measurement instead")
+	flag.Parse()
+
+	switch {
+	case *miss:
+		fmt.Println("# Miss overhead: cache machinery enabled but every lookup missing")
+		for _, prof := range []*transport.Profile{transport.GM(), transport.LAPI()} {
+			fmt.Printf("%8s %6.2f%%\n", prof.Name, bench.MissOverhead(prof, *seed))
+		}
+	case *absolute:
+		bench.PrintFig7(os.Stdout, *reps, *seed)
+	default:
+		var o bench.Op
+		switch *op {
+		case "get":
+			o = bench.OpGet
+		case "put":
+			o = bench.OpPut
+		default:
+			fmt.Fprintf(os.Stderr, "xlupc-micro: unknown op %q (want get or put)\n", *op)
+			os.Exit(2)
+		}
+		bench.PrintFig6(os.Stdout, o, *reps, *seed)
+	}
+}

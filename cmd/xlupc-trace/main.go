@@ -1,0 +1,101 @@
+// Command xlupc-trace reproduces the paper's §4.6 Paraver analysis of
+// the Field stressmark: it runs Field with tracing on, with and
+// without the address cache, and prints the per-state time breakdown.
+// Without the cache on GM, remote GET waits at the overhangs are
+// "abnormally large" because the target CPUs are busy scanning; with
+// the cache the accesses go over RDMA and the waits collapse.
+//
+// Usage:
+//
+//	xlupc-trace                       # Field on GM, 16 threads / 4 nodes
+//	xlupc-trace -mark pointer -profile lapi -prv trace.prv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"xlupc/internal/core"
+	"xlupc/internal/dis"
+	"xlupc/internal/trace"
+	"xlupc/internal/transport"
+)
+
+func run(mark string, prof *transport.Profile, threads, nodes int, cached bool, seed int64) (*trace.Trace, core.RunStats) {
+	fn, err := dis.ByName(mark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc := core.NoCache()
+	if cached {
+		cc = core.DefaultCache()
+	}
+	tr := trace.New()
+	rt, err := core.NewRuntime(core.Config{
+		Threads: threads, Nodes: nodes, Profile: prof, Cache: cc, Seed: seed, Trace: tr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := dis.Default(threads)
+	st, err := rt.Run(func(t *core.Thread) { fn(t, p) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr, st
+}
+
+func main() {
+	mark := flag.String("mark", "field", "stressmark to trace")
+	profName := flag.String("profile", "gm", "transport profile")
+	threads := flag.Int("threads", 16, "UPC threads")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	prv := flag.String("prv", "", "also write the cached run's trace records to this file")
+	flag.Parse()
+
+	prof := transport.ByName(*profName)
+	if prof == nil {
+		fmt.Fprintf(os.Stderr, "xlupc-trace: unknown profile %q\n", *profName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("# %s on %s, %d threads / %d nodes — per-state time breakdown\n",
+		*mark, prof.Name, *threads, *nodes)
+	var traces [2]*trace.Trace
+	for i, cached := range []bool{false, true} {
+		tr, st := run(*mark, prof, *threads, *nodes, cached, *seed)
+		traces[i] = tr
+		label := "without cache"
+		if cached {
+			label = "with cache   "
+		}
+		fmt.Printf("\n%s  (virtual time %v)\n", label, st.Elapsed)
+		for _, p := range tr.Profiles() {
+			fmt.Printf("  %-12s %12v  %5.1f%%\n", p.State, p.Total, 100*p.Share)
+		}
+		worst := tr.MaxInterval(trace.StateGetWait)
+		fmt.Printf("  longest single GET wait: %v (thread %d)\n", worst.Dur(), worst.Thread)
+	}
+
+	g0 := traces[0].TotalByState()[trace.StateGetWait]
+	g1 := traces[1].TotalByState()[trace.StateGetWait]
+	if g0 > 0 {
+		fmt.Printf("\nGET wait time reduction from the cache: %.1f%%\n",
+			100*(float64(g0)-float64(g1))/float64(g0))
+	}
+
+	if *prv != "" {
+		f, err := os.Create(*prv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := traces[1].WritePRV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace records written to %s\n", *prv)
+	}
+}

@@ -1,0 +1,3 @@
+module xlupc
+
+go 1.22

@@ -1,0 +1,45 @@
+package addrcache
+
+import (
+	"testing"
+
+	"xlupc/internal/mem"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(100, LRU, 1)
+	for i := 0; i < 100; i++ {
+		c.Insert(Key{Handle: uint64(i), Node: 0}, mem.Addr(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(Key{Handle: uint64(i % 100), Node: 0})
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := New(100, LRU, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(Key{Handle: uint64(i), Node: 1})
+	}
+}
+
+func BenchmarkInsertWithEviction(b *testing.B) {
+	c := New(100, LRU, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(Key{Handle: uint64(i), Node: 0}, mem.Addr(i))
+	}
+}
+
+func BenchmarkInvalidateHandle(b *testing.B) {
+	c := New(256, LRU, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := int32(0); n < 4; n++ {
+			c.Insert(Key{Handle: 7, Node: n}, 1)
+		}
+		c.InvalidateHandle(7)
+	}
+}

@@ -1,0 +1,229 @@
+// Package addrcache implements the paper's central contribution
+// (§3): the remote address cache. Each node keeps a bounded hash
+// table correlating a universal SVD handle and a target node id with
+// the base address of that shared variable in the target node's
+// memory. A hit lets a GET or PUT compute the final remote address
+// (base + offset) locally and go over RDMA, bypassing the target CPU;
+// a miss falls back to the active-message path, which piggybacks the
+// base address on its reply so the next access hits.
+//
+// The cache "is currently implemented as a dynamic hash table [whose]
+// size is allowed to increase on demand to a fixed limit of 100
+// entries" — here the limit is configurable (the paper's Figure 8
+// sweeps 4, 10 and 100) with LRU eviction, plus a random-eviction
+// variant used as an ablation.
+package addrcache
+
+import (
+	"math/rand"
+
+	"xlupc/internal/mem"
+)
+
+// Key identifies one cache entry: which shared object on which node.
+type Key struct {
+	Handle uint64 // svd.Handle.Key()
+	Node   int32
+}
+
+// EvictPolicy selects the replacement policy when the cache is full.
+type EvictPolicy int
+
+const (
+	// LRU evicts the least recently used entry (the default).
+	LRU EvictPolicy = iota
+	// RandomEvict evicts a uniformly random entry; used only to
+	// ablate the choice of policy.
+	RandomEvict
+)
+
+func (p EvictPolicy) String() string {
+	if p == RandomEvict {
+		return "random"
+	}
+	return "lru"
+}
+
+type entry struct {
+	key        Key
+	addr       mem.Addr
+	prev, next *entry // LRU list; head = most recent
+}
+
+// Stats are the cache's monotonic counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Inserts       int64
+	Evictions     int64
+	Invalidations int64 // entries dropped by eager invalidation
+}
+
+// Lookups is the total number of Lookup calls.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate is Hits over Lookups, or 0 when there were no lookups.
+func (s Stats) HitRate() float64 {
+	n := s.Lookups()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// Cache is one node's remote address cache.
+//
+// Capacity semantics: a positive capacity bounds the entry count
+// (entries are evicted per the policy); capacity 0 disables storage
+// entirely — every lookup misses and inserts are dropped — which is
+// how the miss-overhead experiment forces the worst case; a negative
+// capacity means unbounded, which models the rejected full-table
+// design of paper §2.1 for the ablation study.
+type Cache struct {
+	capacity int
+	policy   EvictPolicy
+	m        map[Key]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	rng      *rand.Rand
+	stats    Stats
+}
+
+// New returns an empty cache. The seed only matters for RandomEvict.
+func New(capacity int, policy EvictPolicy, seed int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		m:        make(map[Key]*entry),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len reports the current number of entries.
+func (c *Cache) Len() int { return len(c.m) }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Lookup consults the cache. On a hit it returns the cached base
+// address and refreshes the entry's recency.
+func (c *Cache) Lookup(k Key) (mem.Addr, bool) {
+	e, ok := c.m[k]
+	if !ok {
+		c.stats.Misses++
+		return 0, false
+	}
+	c.stats.Hits++
+	if c.policy == LRU && c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.addr, true
+}
+
+// Insert records the base address for k, evicting if necessary.
+// Re-inserting an existing key updates it in place (the address of a
+// live object never changes under the pin-everything policy, but the
+// update path exists for the limited-pinning extension).
+func (c *Cache) Insert(k Key, addr mem.Addr) {
+	if c.capacity == 0 {
+		return
+	}
+	if e, ok := c.m[k]; ok {
+		e.addr = addr
+		if c.policy == LRU && c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	if c.capacity > 0 && len(c.m) >= c.capacity {
+		c.evict()
+	}
+	e := &entry{key: k, addr: addr}
+	c.m[k] = e
+	c.pushFront(e)
+	c.stats.Inserts++
+}
+
+func (c *Cache) evict() {
+	var victim *entry
+	switch c.policy {
+	case RandomEvict:
+		i := c.rng.Intn(len(c.m))
+		victim = c.tail
+		for ; i > 0; i-- {
+			victim = victim.prev
+		}
+	default:
+		victim = c.tail
+	}
+	c.unlink(victim)
+	delete(c.m, victim.key)
+	c.stats.Evictions++
+}
+
+// Remove drops the entry for k if present.
+func (c *Cache) Remove(k Key) {
+	if e, ok := c.m[k]; ok {
+		c.unlink(e)
+		delete(c.m, k)
+	}
+}
+
+// InvalidateHandle eagerly drops every entry for the given shared
+// object, whatever the node — called when the object is deallocated
+// (paper §3.1: "the address cache is eagerly invalidated when a
+// shared object is deallocated"). It returns the number of entries
+// dropped.
+func (c *Cache) InvalidateHandle(handle uint64) int {
+	n := 0
+	for e := c.head; e != nil; {
+		next := e.next
+		if e.key.Handle == handle {
+			c.unlink(e)
+			delete(c.m, e.key)
+			n++
+		}
+		e = next
+	}
+	c.stats.Invalidations += int64(n)
+	return n
+}
+
+// Keys returns the cached keys in MRU-to-LRU order (diagnostics).
+func (c *Cache) Keys() []Key {
+	out := make([]Key, 0, len(c.m))
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package addrcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xlupc/internal/mem"
+)
+
+func key(h uint64, n int32) Key { return Key{Handle: h, Node: n} }
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New(10, LRU, 1)
+	if _, ok := c.Lookup(key(1, 2)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(key(1, 2), 0x1000)
+	a, ok := c.Lookup(key(1, 2))
+	if !ok || a != 0x1000 {
+		t.Fatalf("lookup = %#x,%v", a, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Inserts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", st.HitRate())
+	}
+}
+
+func TestSameHandleDifferentNodes(t *testing.T) {
+	c := New(10, LRU, 1)
+	c.Insert(key(7, 0), 0xA0)
+	c.Insert(key(7, 1), 0xB0)
+	a, _ := c.Lookup(key(7, 0))
+	b, _ := c.Lookup(key(7, 1))
+	if a != 0xA0 || b != 0xB0 {
+		t.Fatalf("entries collided: %#x %#x", a, b)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2, LRU, 1)
+	c.Insert(key(1, 0), 1)
+	c.Insert(key(2, 0), 2)
+	c.Lookup(key(1, 0)) // make key 2 the LRU
+	c.Insert(key(3, 0), 3)
+	if _, ok := c.Lookup(key(2, 0)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Lookup(key(1, 0)); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestInsertExistingUpdates(t *testing.T) {
+	c := New(2, LRU, 1)
+	c.Insert(key(1, 0), 1)
+	c.Insert(key(1, 0), 99)
+	a, _ := c.Lookup(key(1, 0))
+	if a != 99 {
+		t.Fatalf("addr = %v, want 99", a)
+	}
+	if c.Len() != 1 || c.Stats().Inserts != 1 {
+		t.Fatalf("len=%d inserts=%d", c.Len(), c.Stats().Inserts)
+	}
+}
+
+func TestZeroCapacityNeverStores(t *testing.T) {
+	c := New(0, LRU, 1)
+	c.Insert(key(1, 0), 1)
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+	if _, ok := c.Lookup(key(1, 0)); ok {
+		t.Fatal("zero-capacity cache hit")
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	c := New(-1, LRU, 1)
+	for i := 0; i < 1000; i++ {
+		c.Insert(key(uint64(i), 0), mem.Addr(i))
+	}
+	if c.Len() != 1000 || c.Stats().Evictions != 0 {
+		t.Fatalf("len=%d evictions=%d", c.Len(), c.Stats().Evictions)
+	}
+}
+
+func TestInvalidateHandle(t *testing.T) {
+	c := New(10, LRU, 1)
+	for n := int32(0); n < 4; n++ {
+		c.Insert(key(5, n), mem.Addr(n))
+	}
+	c.Insert(key(6, 0), 0x60)
+	if got := c.InvalidateHandle(5); got != 4 {
+		t.Fatalf("invalidated %d, want 4", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if _, ok := c.Lookup(key(6, 0)); !ok {
+		t.Fatal("unrelated entry invalidated")
+	}
+	if c.Stats().Invalidations != 4 {
+		t.Fatalf("invalidations = %d", c.Stats().Invalidations)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New(10, LRU, 1)
+	c.Insert(key(1, 0), 1)
+	c.Remove(key(1, 0))
+	c.Remove(key(1, 0)) // idempotent
+	if c.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestKeysMRUOrder(t *testing.T) {
+	c := New(10, LRU, 1)
+	c.Insert(key(1, 0), 1)
+	c.Insert(key(2, 0), 2)
+	c.Insert(key(3, 0), 3)
+	c.Lookup(key(1, 0))
+	ks := c.Keys()
+	want := []uint64{1, 3, 2}
+	for i, k := range ks {
+		if k.Handle != want[i] {
+			t.Fatalf("keys = %v", ks)
+		}
+	}
+}
+
+func TestRandomEvictStaysBounded(t *testing.T) {
+	c := New(8, RandomEvict, 42)
+	for i := 0; i < 100; i++ {
+		c.Insert(key(uint64(i), 0), mem.Addr(i))
+		if c.Len() > 8 {
+			t.Fatalf("len %d exceeds capacity", c.Len())
+		}
+	}
+	if c.Stats().Evictions != 92 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+// Steady-state LRU hit rate over K uniformly random keys with capacity
+// C approaches C/K — the analytical model behind the paper's Figure 8a
+// (Pointer stressmark hit-rate degradation with node count).
+func TestLRUUniformHitRate(t *testing.T) {
+	const K, C, N = 50, 10, 200000
+	c := New(C, LRU, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < N; i++ {
+		k := key(uint64(rng.Intn(K)), 0)
+		if _, ok := c.Lookup(k); !ok {
+			c.Insert(k, 1)
+		}
+	}
+	got := c.Stats().HitRate()
+	want := float64(C) / float64(K)
+	if got < want-0.03 || got > want+0.03 {
+		t.Fatalf("hit rate %.3f, want ≈%.3f", got, want)
+	}
+}
+
+// Property: an LRU cache agrees with a simple reference model over
+// arbitrary lookup/insert/invalidate sequences.
+func TestPropertyLRUMatchesReference(t *testing.T) {
+	type refEntry struct {
+		k Key
+		a mem.Addr
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const cap = 4
+		c := New(cap, LRU, 1)
+		var ref []refEntry // front = MRU
+		refFind := func(k Key) int {
+			for i, e := range ref {
+				if e.k == k {
+					return i
+				}
+			}
+			return -1
+		}
+		for op := 0; op < 400; op++ {
+			k := key(uint64(rng.Intn(6)), int32(rng.Intn(3)))
+			switch rng.Intn(4) {
+			case 0: // insert
+				a := mem.Addr(rng.Intn(1000))
+				c.Insert(k, a)
+				if i := refFind(k); i >= 0 {
+					ref = append(ref[:i], ref[i+1:]...)
+				} else if len(ref) == cap {
+					ref = ref[:len(ref)-1]
+				}
+				ref = append([]refEntry{{k, a}}, ref...)
+			case 1: // invalidate handle
+				c.InvalidateHandle(k.Handle)
+				out := ref[:0]
+				for _, e := range ref {
+					if e.k.Handle != k.Handle {
+						out = append(out, e)
+					}
+				}
+				ref = out
+			default: // lookup
+				a, ok := c.Lookup(k)
+				i := refFind(k)
+				if ok != (i >= 0) {
+					return false
+				}
+				if ok {
+					if a != ref[i].a {
+						return false
+					}
+					e := ref[i]
+					ref = append(ref[:i], ref[i+1:]...)
+					ref = append([]refEntry{e}, ref...)
+				}
+			}
+			if c.Len() != len(ref) {
+				return false
+			}
+			// Full order check.
+			ks := c.Keys()
+			for i, e := range ref {
+				if ks[i] != e.k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"sort"
+
+	"xlupc/internal/core"
+	"xlupc/internal/sim"
+)
+
+// ISParams sizes the integer sort kernel.
+type ISParams struct {
+	KeysPerThread int
+	KeyRange      uint64   // keys are in [0, KeyRange)
+	CompareCost   sim.Time // modeled time per comparison in the local sort
+}
+
+// DefaultIS returns test-friendly sizes.
+func DefaultIS() ISParams {
+	return ISParams{KeysPerThread: 128, KeyRange: 1 << 16, CompareCost: 10 * sim.Ns}
+}
+
+// ISResult reports the sort.
+type ISResult struct {
+	Total    int64 // keys accounted for after the exchange
+	Verified bool  // per-bucket sortedness + global bucket ordering + count
+}
+
+// IS is a bucket integer sort in the NAS IS style: every thread
+// generates deterministic keys, the key range is cut into THREADS
+// equal buckets (bucket b owned by thread b), keys are exchanged with
+// one-sided PUTs into slots reserved by remote fetch-and-add — the
+// lock-free coordination pattern the runtime's atomics exist for —
+// and each thread sorts its bucket locally. Every thread returns the
+// same verified result.
+func IS(t *core.Thread, p ISParams) ISResult {
+	threads := int64(t.Threads())
+	perBucket := int64(p.KeysPerThread) * threads // worst-case bucket size
+	bucketWidth := (p.KeyRange + uint64(threads) - 1) / uint64(threads)
+
+	// Shared: the bucket storage and one reservation counter per
+	// bucket (both block-distributed so bucket b and its counter live
+	// with thread b).
+	buckets := t.AllAlloc("is.buckets", perBucket*threads, 8, perBucket)
+	counters := t.AllAlloc("is.counters", threads, 8, 1)
+	t.Barrier()
+
+	// Generate and scatter keys: reserve a slot in the destination
+	// bucket with fetch-and-add, then PUT the key there.
+	keys := make([]uint64, p.KeysPerThread)
+	for i := range keys {
+		keys[i] = cgHash(uint64(t.ID())*100_003+uint64(i)) % p.KeyRange
+	}
+	for _, k := range keys {
+		b := int64(k / bucketWidth)
+		if b >= threads {
+			b = threads - 1
+		}
+		slot := t.AtomicAddU64(counters.At(b), 1)
+		t.PutUint64(buckets.At(b*perBucket+int64(slot)), k)
+	}
+	t.Barrier()
+
+	// Sort the owned bucket locally.
+	mine := int64(t.ID())
+	count := int64(t.GetUint64(counters.At(mine)))
+	local := make([]uint64, count)
+	for i := int64(0); i < count; i++ {
+		local[i] = t.GetUint64(buckets.At(mine*perBucket + i))
+	}
+	t.Compute(sim.Time(count) * p.CompareCost * 8) // ~ n log n comparisons
+	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	for i := int64(0); i < count; i++ {
+		t.PutUint64(buckets.At(mine*perBucket+i), local[i])
+	}
+
+	// Verify: keys landed in the right bucket, the bucket is sorted,
+	// and the global count is preserved.
+	ok := true
+	loKey := uint64(mine) * bucketWidth
+	hiKey := loKey + bucketWidth
+	if mine == threads-1 {
+		hiKey = p.KeyRange
+	}
+	for i := int64(0); i < count; i++ {
+		if local[i] < loKey || local[i] >= hiKey {
+			ok = false
+		}
+		if i > 0 && local[i] < local[i-1] {
+			ok = false
+		}
+	}
+	t.Barrier()
+
+	total := int64(t.AllReduceU64(uint64(count), core.ReduceSum))
+	allOK := t.AllReduceU64(map[bool]uint64{true: 1, false: 0}[ok], core.ReduceMin)
+	verified := allOK == 1 && total == int64(p.KeysPerThread)*threads
+	return ISResult{Total: total, Verified: verified}
+}

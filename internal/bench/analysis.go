@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"xlupc/internal/core"
+	"xlupc/internal/dis"
+	"xlupc/internal/svd"
+	"xlupc/internal/trace"
+	"xlupc/internal/transport"
+)
+
+// PrintFootprint emits the §2.1 scalability comparison: per-node
+// metadata of an SVD replica holding a typical application's worth of
+// shared objects, against the rejected O(nodes×objects) full table, as
+// the machine grows to BlueGene scale.
+func PrintFootprint(w io.Writer) {
+	const objects = 32 // a generous UPC application (§4.5: usually fewer)
+	d := svd.NewDirectory(0, 1)
+	for i := 0; i < objects; i++ {
+		d.Register(&svd.ControlBlock{
+			Handle: svd.Handle{Part: svd.AllPartition, Index: d.NextIndex(svd.AllPartition)},
+			Name:   "var",
+		})
+	}
+	fmt.Fprintf(w, "%d shared objects; bytes of per-node metadata:\n", objects)
+	fmt.Fprintf(w, "%10s %16s %16s\n", "nodes", "SVD replica", "full table")
+	for _, nodes := range []int{64, 512, 4096, 32768, 131072} {
+		fmt.Fprintf(w, "%10d %16d %16d\n", nodes, d.MetadataBytes(), d.FullTableBytes(nodes))
+	}
+}
+
+// PrintFieldTrace reproduces the §4.6 Paraver analysis in summary
+// form: the share of time the Field stressmark's threads spend blocked
+// in remote GETs on GM, with and without the address cache.
+func PrintFieldTrace(w io.Writer, seed int64) {
+	run := func(cc core.CacheConfig) *trace.Trace {
+		tr := trace.New()
+		rt, err := core.NewRuntime(core.Config{
+			Threads: 16, Nodes: 4, Profile: transport.GM(), Cache: cc, Seed: seed, Trace: tr,
+		})
+		if err != nil {
+			panic(err)
+		}
+		p := dis.Default(16)
+		if _, err := rt.Run(func(t *core.Thread) { dis.Field(t, p) }); err != nil {
+			panic(err)
+		}
+		return tr
+	}
+	for _, cached := range []bool{false, true} {
+		cc := core.NoCache()
+		label := "without cache"
+		if cached {
+			cc = core.DefaultCache()
+			label = "with cache"
+		}
+		tr := run(cc)
+		total := tr.TotalByState()
+		var sum int64
+		for _, v := range total {
+			sum += int64(v)
+		}
+		gw := total[trace.StateGetWait]
+		pct := 0.0
+		if sum > 0 {
+			pct = 100 * float64(gw) / float64(sum)
+		}
+		fmt.Fprintf(w, "%-14s GET-wait %v (%.1f%% of traced time), longest single wait %v\n",
+			label, gw, pct, tr.MaxInterval(trace.StateGetWait).Dur())
+	}
+}

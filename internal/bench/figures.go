@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"xlupc/internal/core"
+	"xlupc/internal/dis"
+	"xlupc/internal/sim"
+	"xlupc/internal/stats"
+	"xlupc/internal/transport"
+)
+
+// Fig6Sizes is the paper's Figure 6 message-size sweep: 1 B to 4 MB.
+func Fig6Sizes() []int {
+	return []int{1, 4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+}
+
+// Fig7Sizes is the small-message subset of Figure 7: 1 B to 8 KB.
+func Fig7Sizes() []int {
+	s := make([]int, 0, 14)
+	for b := 1; b <= 8<<10; b *= 2 {
+		s = append(s, b)
+	}
+	return s
+}
+
+// LatencyPoint is one (size, with/without cache) measurement.
+type LatencyPoint struct {
+	Size        int
+	WithoutUs   float64 // mean latency without the cache, µs
+	WithUs      float64 // mean latency with the cache, µs
+	Improvement float64 // 100*(Z-W)/Z
+}
+
+// MicroSweep measures a size sweep for op on prof.
+func MicroSweep(op Op, prof *transport.Profile, sizes []int, reps int, seed int64) []LatencyPoint {
+	pts := make([]LatencyPoint, 0, len(sizes))
+	for _, size := range sizes {
+		o := MicroOpts{Prof: prof, Size: size, Reps: reps, Warm: 3, Seed: seed,
+			ForcePutCache: op == OpPut}
+		zs := MicroLatency(op, false, o)
+		ws := MicroLatency(op, true, o)
+		z, w := zs.Mean(), ws.Mean()
+		pts = append(pts, LatencyPoint{
+			Size: size, WithoutUs: z, WithUs: w, Improvement: stats.Improvement(z, w),
+		})
+	}
+	return pts
+}
+
+// PrintFig6 emits the improvement-vs-size series for both transports
+// (the two panels of Figure 6).
+func PrintFig6(w io.Writer, op Op, reps int, seed int64) ([]LatencyPoint, []LatencyPoint) {
+	gm := MicroSweep(op, transport.GM(), Fig6Sizes(), reps, seed)
+	lapi := MicroSweep(op, transport.LAPI(), Fig6Sizes(), reps, seed)
+	fmt.Fprintf(w, "# Figure 6 — xlupc_distr_%s latency improvement using the cache of SVD addresses\n", op)
+	fmt.Fprintf(w, "%12s %12s %12s\n", "size(B)", "GM(%)", "LAPI(%)")
+	for i := range gm {
+		fmt.Fprintf(w, "%12d %12.1f %12.1f\n", gm[i].Size, gm[i].Improvement, lapi[i].Improvement)
+	}
+	return gm, lapi
+}
+
+// PrintFig7 emits absolute small-message GET latencies with and
+// without the cache for both transports (Figure 7).
+func PrintFig7(w io.Writer, reps int, seed int64) (gm, lapi []LatencyPoint) {
+	gm = MicroSweep(OpGet, transport.GM(), Fig7Sizes(), reps, seed)
+	lapi = MicroSweep(OpGet, transport.LAPI(), Fig7Sizes(), reps, seed)
+	fmt.Fprintf(w, "# Figure 7 — GET latency with and without the address cache (us)\n")
+	fmt.Fprintf(w, "%10s %14s %14s %14s %14s\n", "size(B)", "GM w/o", "GM w/", "LAPI w/o", "LAPI w/")
+	for i := range gm {
+		fmt.Fprintf(w, "%10d %14.2f %14.2f %14.2f %14.2f\n",
+			gm[i].Size, gm[i].WithoutUs, gm[i].WithUs, lapi[i].WithoutUs, lapi[i].WithUs)
+	}
+	return gm, lapi
+}
+
+// Scale is one (threads, nodes) point of the stressmark sweeps.
+type Scale struct{ Threads, Nodes int }
+
+func (s Scale) String() string { return fmt.Sprintf("%d-%d", s.Threads, s.Nodes) }
+
+// GMScales mirrors Figure 8/9a's x-axis (hybrid, 4 threads per node):
+// 8-2 up to maxThreads (2048-512 in the paper).
+func GMScales(maxThreads int) []Scale {
+	var out []Scale
+	for t := 8; t <= maxThreads; t *= 2 {
+		out = append(out, Scale{Threads: t, Nodes: t / 4})
+	}
+	return out
+}
+
+// LAPIScales mirrors Figure 9b's x-axis on the 28-node Power5 cluster.
+func LAPIScales(maxThreads int) []Scale {
+	all := []Scale{{4, 2}, {8, 2}, {16, 2}, {32, 2}, {64, 4}, {128, 8}, {256, 16}, {448, 28}}
+	var out []Scale
+	for _, s := range all {
+		if s.Threads <= maxThreads {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runStressmark runs one stressmark once and returns the run stats.
+func runStressmark(fn dis.Func, sc Scale, prof *transport.Profile, cc core.CacheConfig, seed int64) core.RunStats {
+	rt, err := core.NewRuntime(core.Config{
+		Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: cc, Seed: seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	p := dis.Default(sc.Threads)
+	st, err := rt.Run(func(t *core.Thread) { fn(t, p) })
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return st
+}
+
+// HitRatePoint is one Figure 8 measurement.
+type HitRatePoint struct {
+	Scale    Scale
+	Capacity int
+	HitRate  float64
+}
+
+// Fig8 measures address-cache hit rates for a stressmark across scales
+// and cache capacities (4, 10, 100 in the paper).
+func Fig8(mark string, scales []Scale, capacities []int, seed int64) []HitRatePoint {
+	fn, err := dis.ByName(mark)
+	if err != nil {
+		panic(err)
+	}
+	var out []HitRatePoint
+	for _, capEntries := range capacities {
+		for _, sc := range scales {
+			cc := core.CacheConfig{Enabled: true, Capacity: capEntries}
+			st := runStressmark(fn, sc, transport.GM(), cc, seed)
+			out = append(out, HitRatePoint{Scale: sc, Capacity: capEntries, HitRate: st.Cache.HitRate()})
+		}
+	}
+	return out
+}
+
+// PrintFig8 emits one Figure 8 panel.
+func PrintFig8(w io.Writer, mark string, scales []Scale, capacities []int, seed int64) []HitRatePoint {
+	pts := Fig8(mark, scales, capacities, seed)
+	fmt.Fprintf(w, "# Figure 8 — %s: cache hit rate by cache size\n", mark)
+	fmt.Fprintf(w, "%14s", "threads-nodes")
+	for _, c := range capacities {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%d entries", c))
+	}
+	fmt.Fprintln(w)
+	for i, sc := range scales {
+		fmt.Fprintf(w, "%14s", sc)
+		for j := range capacities {
+			fmt.Fprintf(w, " %10.2f", pts[j*len(scales)+i].HitRate)
+		}
+		fmt.Fprintln(w)
+	}
+	return pts
+}
+
+// Fig9Point is one stressmark improvement measurement.
+type Fig9Point struct {
+	Scale       Scale
+	Mark        string
+	Improvement float64
+}
+
+// Fig9 measures the execution-time improvement of the address cache
+// for every stressmark across scales on one transport.
+func Fig9(prof *transport.Profile, scales []Scale, seed int64) []Fig9Point {
+	var out []Fig9Point
+	for _, s := range dis.Suite() {
+		for _, sc := range scales {
+			z := runStressmark(s.Fn, sc, prof, core.NoCache(), seed)
+			w := runStressmark(s.Fn, sc, prof, core.DefaultCache(), seed)
+			out = append(out, Fig9Point{
+				Scale: sc, Mark: s.Name,
+				Improvement: stats.Improvement(z.Elapsed.Usecs(), w.Elapsed.Usecs()),
+			})
+		}
+	}
+	return out
+}
+
+// PrintFig9 emits one Figure 9 panel.
+func PrintFig9(w io.Writer, prof *transport.Profile, scales []Scale, seed int64) []Fig9Point {
+	pts := Fig9(prof, scales, seed)
+	fmt.Fprintf(w, "# Figure 9 — DIS address cache evaluation, hybrid %s (%% improvement)\n", prof.Name)
+	fmt.Fprintf(w, "%14s", "threads-nodes")
+	marks := dis.Suite()
+	for _, m := range marks {
+		fmt.Fprintf(w, " %13s", m.Name)
+	}
+	fmt.Fprintln(w)
+	for i, sc := range scales {
+		fmt.Fprintf(w, "%14s", sc)
+		for j := range marks {
+			fmt.Fprintf(w, " %13.1f", pts[j*len(scales)+i].Improvement)
+		}
+		fmt.Fprintln(w)
+	}
+	return pts
+}
+
+// Fig9CI applies the paper's methodology (§4: "We defined a confidence
+// coefficient of 95% and ran each experiment multiple times") to one
+// stressmark/scale point: the improvement is measured over reps
+// independent seeds and returned as a sample, from which the caller
+// reads the mean and the 95% confidence half-width.
+func Fig9CI(mark string, prof *transport.Profile, sc Scale, reps int, seed int64) stats.Sample {
+	fn, err := dis.ByName(mark)
+	if err != nil {
+		panic(err)
+	}
+	var s stats.Sample
+	for r := 0; r < reps; r++ {
+		rs := seed + int64(r)*7919
+		p := dis.Default(sc.Threads)
+		p.Salt = uint64(rs)
+		run := func(cc core.CacheConfig) core.RunStats {
+			rt, err := core.NewRuntime(core.Config{
+				Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: cc, Seed: rs,
+			})
+			if err != nil {
+				panic(err)
+			}
+			st, err := rt.Run(func(t *core.Thread) { fn(t, p) })
+			if err != nil {
+				panic(err)
+			}
+			return st
+		}
+		z, w := run(core.NoCache()), run(core.DefaultCache())
+		s.Add(stats.Improvement(z.Elapsed.Usecs(), w.Elapsed.Usecs()))
+	}
+	return s
+}
+
+// PrintFig9CI emits one Figure 9 panel with mean ± 95% CI columns.
+func PrintFig9CI(w io.Writer, prof *transport.Profile, scales []Scale, reps int, seed int64) {
+	fmt.Fprintf(w, "# Figure 9 — DIS address cache evaluation, hybrid %s (mean %% improvement ± 95%% CI over %d runs)\n",
+		prof.Name, reps)
+	marks := dis.Suite()
+	fmt.Fprintf(w, "%14s", "threads-nodes")
+	for _, m := range marks {
+		fmt.Fprintf(w, " %18s", m.Name)
+	}
+	fmt.Fprintln(w)
+	for _, sc := range scales {
+		fmt.Fprintf(w, "%14s", sc)
+		for _, m := range marks {
+			s := Fig9CI(m.Name, prof, sc, reps, seed)
+			fmt.Fprintf(w, " %11.1f ± %4.1f", s.Mean(), s.CI95())
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// MissOverhead quantifies the §6 claim: the overhead of unsuccessful
+// attempts to cache remote addresses is small (typically 1.5%, never
+// worse than 2%). It compares a capacity-0 cache — every lookup
+// misses, every reply piggybacks an address that is then dropped —
+// against the cache machinery disabled outright, on a random-access
+// workload.
+func MissOverhead(prof *transport.Profile, seed int64) (pct float64) {
+	run := func(cc core.CacheConfig) sim.Time {
+		rt, err := core.NewRuntime(core.Config{
+			Threads: 8, Nodes: 4, Profile: prof, Cache: cc, Seed: seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		st, err := rt.Run(func(t *core.Thread) {
+			a := t.AllAlloc("mo", 1024, 8, 128)
+			t.Barrier()
+			for i := 0; i < 600; i++ {
+				t.GetUint64(a.At(int64(t.Rand().Intn(1024))))
+			}
+			t.Barrier()
+		})
+		if err != nil {
+			panic(err)
+		}
+		return st.Elapsed
+	}
+	off := run(core.NoCache())
+	allMiss := run(core.CacheConfig{Enabled: true, Capacity: 0})
+	return 100 * (float64(allMiss) - float64(off)) / float64(off)
+}
+
+// PinUsage reports the peak pinned-table occupancy across nodes for
+// every stressmark (§4.5: ~10 entries suffice).
+func PinUsage(prof *transport.Profile, sc Scale, seed int64) map[string]int {
+	out := make(map[string]int)
+	for _, s := range dis.Suite() {
+		st := runStressmark(s.Fn, sc, prof, core.DefaultCache(), seed)
+		peak := 0
+		for _, p := range st.PinnedPeak {
+			if p > peak {
+				peak = p
+			}
+		}
+		out[s.Name] = peak
+	}
+	return out
+}

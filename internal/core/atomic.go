@@ -1,0 +1,87 @@
+package core
+
+import (
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+	"xlupc/internal/transport"
+)
+
+// Remote atomic operations execute as read-modify-write active
+// messages at the element's home node — the one place the update can
+// be made indivisible without locks. They never use the address-cache
+// RDMA path: the simulated NICs (like Myrinet's) move bytes but do not
+// combine them. UPC itself gained atomics only later; the runtime
+// offers them the way ARMCI-style one-sided libraries of the era did.
+
+// atomicReq asks the target to fetch-and-add at (H, Off).
+type atomicReq struct {
+	H     uint64 // svd handle key
+	Off   int64
+	Delta uint64
+	Done  *sim.Completion // completes with the previous value
+}
+
+type atomicRep struct {
+	Old  uint64
+	Done *sim.Completion
+}
+
+// atomicCPUCost models the home-side read-modify-write.
+const atomicCPUCost = 200 * sim.Ns
+
+// AtomicAddU64 atomically adds delta to the 8-byte element at r and
+// returns the element's previous value. Concurrent AtomicAddU64 calls
+// from any threads never lose updates (unlike a Get/Put pair, which
+// needs a Lock).
+func (t *Thread) AtomicAddU64(r Ref, delta uint64) uint64 {
+	a := r.A
+	if a.l.ElemSize != 8 {
+		panic("core: AtomicAddU64 needs 8-byte elements")
+	}
+	rn := a.l.NodeOf(r.Idx)
+	off := a.l.ChunkOffset(r.Idx)
+	prof := t.rt.cfg.Profile
+	if rn == t.ns.id {
+		// Home-node fast path: the simulation kernel runs one process
+		// at a time, so the in-place update is indivisible, exactly
+		// like a processor LL/SC pair would make it.
+		cb := t.localCB(a)
+		t.p.Sleep(prof.ShmLatency + atomicCPUCost)
+		return t.ns.fetchAdd(cb.LocalBase+mem.Addr(off), delta)
+	}
+	t.gets++ // counts as one remote round trip in the op statistics
+	done := sim.NewCompletion(t.rt.K, "atomic")
+	t.rt.M.SendAM(t.p, t.ns.id, rn, hAtomic,
+		&atomicReq{H: a.h.Key(), Off: off, Delta: delta, Done: done}, nil, 16)
+	t.p.Wait(done)
+	return done.Value().(uint64)
+}
+
+// fetchAdd performs the indivisible read-modify-write on this node.
+func (ns *nodeState) fetchAdd(addr mem.Addr, delta uint64) uint64 {
+	var b [8]byte
+	ns.tn.Mem.Read(b[:], addr)
+	old := byteOrder.Uint64(b[:])
+	byteOrder.PutUint64(b[:], old+delta)
+	ns.tn.Mem.Write(addr, b[:])
+	return old
+}
+
+func (rt *Runtime) handleAtomic(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*atomicReq)
+	cb, requeued := ns.resolve(p, handleFromKey(m.H), msg)
+	if requeued {
+		return
+	}
+	// Charge the cost first, then update in one indivisible step so
+	// parallel handler contexts (LAPI) cannot interleave mid-RMW.
+	p.Sleep(atomicCPUCost)
+	old := ns.fetchAdd(cb.LocalBase+mem.Addr(m.Off), m.Delta)
+	rt.M.ReplyAM(p, n.ID, msg.Src, hAtomicRep, &atomicRep{Old: old, Done: m.Done}, nil, 8)
+}
+
+func (rt *Runtime) handleAtomicRep(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	m := msg.Meta.(*atomicRep)
+	m.Done.Complete(m.Old)
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"xlupc/internal/sim"
+	"xlupc/internal/trace"
+	"xlupc/internal/transport"
+)
+
+// The runtime's barrier is hierarchical, matching the hybrid design:
+// threads of a node combine in shared memory first, then one
+// representative per node runs a dissemination barrier (ceil(log2 n)
+// rounds of point-to-point messages) across nodes, and finally the
+// representative releases its co-located threads. Dissemination keeps
+// the critical path logarithmic — a flat master/slave barrier is kept
+// as an ablation (see Config in internal/bench).
+
+// barrierMsg is one barrier notification: a dissemination round, or an
+// arrive/release message of the flat (master/slave) ablation variant.
+type barrierMsg struct {
+	Epoch int64
+	Round int // dissemination distance; flatArrive/flatRelease otherwise
+}
+
+// Sentinel rounds for the flat barrier.
+const (
+	flatArrive  = -1
+	flatRelease = -2
+)
+
+type dissKey struct {
+	epoch int64
+	round int
+}
+
+// nodeBarrier is a node's barrier state.
+type nodeBarrier struct {
+	rt *Runtime
+	ns *nodeState
+
+	epoch   int64
+	arrived int
+	release *sim.Completion
+
+	recv    map[dissKey]bool
+	waiters map[dissKey]*sim.Completion
+
+	// Flat-barrier master state (node 0 only).
+	flatCount     map[int64]int
+	flatWait      *sim.Completion
+	flatWaitEpoch int64
+	flatTarget    int
+}
+
+func newNodeBarrier(rt *Runtime, ns *nodeState) *nodeBarrier {
+	return &nodeBarrier{
+		rt:        rt,
+		ns:        ns,
+		recv:      make(map[dissKey]bool),
+		waiters:   make(map[dissKey]*sim.Completion),
+		flatCount: make(map[int64]int),
+	}
+}
+
+// localBarrierCost models the shared-memory combine per thread.
+const localBarrierCost = 150 * sim.Ns
+
+// Barrier is upc_barrier: it implies a fence, combines intra-node, and
+// disseminates across nodes.
+func (t *Thread) Barrier() {
+	t.Fence()
+	t.rt.cfg.Trace.Begin(t.id, trace.StateBarrier, t.p.Now())
+	defer func() { t.rt.cfg.Trace.End(t.id, t.p.Now()) }()
+	nb := t.ns.barrier
+	tpn := t.rt.cfg.ThreadsPerNode()
+	t.p.Sleep(localBarrierCost)
+
+	nb.arrived++
+	if nb.arrived < tpn {
+		if nb.release == nil {
+			nb.release = sim.NewCompletion(t.rt.K, fmt.Sprintf("barrier-release n%d", t.ns.id))
+		}
+		t.p.Wait(nb.release)
+		return
+	}
+	// Last arriver is the representative: run the inter-node phase.
+	epoch := nb.epoch
+	if t.rt.cfg.FlatBarrier {
+		nb.flat(t.p, epoch)
+	} else {
+		nb.disseminate(t.p, epoch)
+	}
+	rel := nb.release
+	nb.release = nil
+	nb.arrived = 0
+	nb.epoch++
+	if rel != nil {
+		rel.Complete(nil)
+	}
+}
+
+// disseminate runs the representative's rounds for one epoch.
+func (nb *nodeBarrier) disseminate(p *sim.Proc, epoch int64) {
+	n := nb.rt.cfg.Nodes
+	for dist := 1; dist < n; dist *= 2 {
+		partner := (nb.ns.id + dist) % n
+		nb.rt.M.SendAM(p, nb.ns.id, partner, hBarrier,
+			&barrierMsg{Epoch: epoch, Round: dist}, nil, 0)
+		key := dissKey{epoch: epoch, round: dist}
+		if nb.recv[key] {
+			delete(nb.recv, key)
+			continue
+		}
+		c := sim.NewCompletion(nb.rt.K, fmt.Sprintf("barrier n%d e%d r%d", nb.ns.id, epoch, dist))
+		nb.waiters[key] = c
+		p.Wait(c)
+		delete(nb.waiters, key)
+	}
+}
+
+// flat is the master/slave barrier ablation: every representative
+// reports to node 0, which releases everyone once all have arrived.
+// O(n) messages serialized through one node — the scalability
+// bottleneck the dissemination design avoids.
+func (nb *nodeBarrier) flat(p *sim.Proc, epoch int64) {
+	n := nb.rt.cfg.Nodes
+	if nb.ns.id != 0 {
+		nb.rt.M.SendAM(p, nb.ns.id, 0, hBarrier,
+			&barrierMsg{Epoch: epoch, Round: flatArrive}, nil, 0)
+		nb.await(p, dissKey{epoch: epoch, round: flatRelease})
+		return
+	}
+	// Master: collect n-1 arrivals, then release everyone.
+	need := n - 1
+	if nb.flatCount[epoch] < need {
+		c := sim.NewCompletion(nb.rt.K, fmt.Sprintf("flat-barrier e%d", epoch))
+		nb.flatWait = c
+		nb.flatWaitEpoch = epoch
+		nb.flatTarget = need
+		p.Wait(c)
+	}
+	delete(nb.flatCount, epoch)
+	for dst := 1; dst < n; dst++ {
+		nb.rt.M.SendAM(p, 0, dst, hBarrier,
+			&barrierMsg{Epoch: epoch, Round: flatRelease}, nil, 0)
+	}
+}
+
+// await blocks until the barrier message for key arrives (buffered or
+// future).
+func (nb *nodeBarrier) await(p *sim.Proc, key dissKey) {
+	if nb.recv[key] {
+		delete(nb.recv, key)
+		return
+	}
+	c := sim.NewCompletion(nb.rt.K, fmt.Sprintf("barrier n%d e%d r%d", nb.ns.id, key.epoch, key.round))
+	nb.waiters[key] = c
+	p.Wait(c)
+	delete(nb.waiters, key)
+}
+
+func (rt *Runtime) handleBarrier(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	nb := rt.nodes[n.ID].barrier
+	m := msg.Meta.(*barrierMsg)
+	if m.Round == flatArrive {
+		nb.flatCount[m.Epoch]++
+		if nb.flatWait != nil && nb.flatWaitEpoch == m.Epoch && nb.flatCount[m.Epoch] >= nb.flatTarget {
+			c := nb.flatWait
+			nb.flatWait = nil
+			c.Complete(nil)
+		}
+		return
+	}
+	key := dissKey{epoch: m.Epoch, round: m.Round}
+	if c, ok := nb.waiters[key]; ok {
+		c.Complete(nil)
+		return
+	}
+	nb.recv[key] = true
+}

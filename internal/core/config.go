@@ -1,0 +1,148 @@
+// Package core implements the XLUPC-like UPC runtime of the paper on
+// top of the simulated transports: UPC threads mapped onto cluster
+// nodes in hybrid mode, shared objects named through the Shared
+// Variable Directory, blocking GET/PUT with the remote address cache
+// fast path, bulk transfers, fences, hierarchical barriers, shared
+// locks, and the dynamic allocation routines with eager cache
+// invalidation on free.
+package core
+
+import (
+	"fmt"
+
+	"xlupc/internal/addrcache"
+	"xlupc/internal/mem"
+	"xlupc/internal/trace"
+	"xlupc/internal/transport"
+)
+
+// PutCacheMode controls whether PUT operations may use the remote
+// address cache. The paper found RDMA-mode PUTs a net loss on LAPI and
+// disabled them there (§4.3); Auto follows the profile's choice.
+type PutCacheMode int
+
+const (
+	PutCacheAuto PutCacheMode = iota
+	PutCacheOn
+	PutCacheOff
+)
+
+// CacheConfig configures the remote address cache.
+type CacheConfig struct {
+	// Enabled turns the cache machinery on. When false the runtime is
+	// the paper's baseline: every remote access goes through the
+	// active-message path with no lookups, no piggybacking and no
+	// insert costs.
+	Enabled bool
+	// Capacity is the entry limit: the paper's deployment uses 100,
+	// Figure 8 sweeps 4 and 10, 0 forces every lookup to miss (the
+	// miss-overhead experiment), and a negative value is unbounded
+	// (the full-table ablation).
+	Capacity int
+	// Policy is the eviction policy (LRU unless ablating).
+	Policy addrcache.EvictPolicy
+	// PutMode optionally overrides the profile's PUT-caching choice.
+	PutMode PutCacheMode
+}
+
+// DefaultCache returns the paper's deployed configuration: enabled,
+// 100 entries, LRU.
+func DefaultCache() CacheConfig {
+	return CacheConfig{Enabled: true, Capacity: 100, Policy: addrcache.LRU}
+}
+
+// NoCache returns the baseline configuration.
+func NoCache() CacheConfig { return CacheConfig{} }
+
+// Config describes one simulated run.
+type Config struct {
+	// Threads is the number of UPC threads; Nodes the number of
+	// cluster nodes. Threads must be a positive multiple of Nodes
+	// (hybrid mode places Threads/Nodes on each node; threads on the
+	// same node communicate through shared memory).
+	Threads int
+	Nodes   int
+	// Profile selects the transport (transport.GM() or
+	// transport.LAPI()). Required.
+	Profile *transport.Profile
+	// Cache configures the remote address cache.
+	Cache CacheConfig
+	// Seed drives all pseudo-randomness in the run (workloads,
+	// eviction tie-breaks), making runs reproducible.
+	Seed int64
+	// Trace, when non-nil, receives Paraver-style per-thread state
+	// intervals (compute, get-wait, barrier, ...) — the tooling behind
+	// the paper's §4.6 Field analysis. Tracing costs no virtual time.
+	Trace *trace.Trace
+	// Pin, when non-nil, overrides the profile's pinning policy and
+	// registration limits — the knob behind the pin-everything vs
+	// limited-pinning ablation (paper §3.1 and [10]).
+	Pin *PinConfig
+	// FlatBarrier replaces the hierarchical dissemination barrier with
+	// a centralized master/slave barrier (ablation only: O(n) messages
+	// serialized through node 0).
+	FlatBarrier bool
+}
+
+// PinConfig overrides memory-registration behaviour.
+type PinConfig struct {
+	Policy mem.PinPolicy
+	// MaxTotal and MaxPerObject override the profile's registration
+	// limits when positive; negative removes the limit.
+	MaxTotal     int
+	MaxPerObject int
+}
+
+// effectiveProfile applies any Pin override to a copy of the profile.
+func (c *Config) effectiveProfile() *transport.Profile {
+	if c.Pin == nil {
+		return c.Profile
+	}
+	p := *c.Profile
+	p.PinPolicy = c.Pin.Policy
+	switch {
+	case c.Pin.MaxTotal > 0:
+		p.Reg.MaxTotal = c.Pin.MaxTotal
+	case c.Pin.MaxTotal < 0:
+		p.Reg.MaxTotal = 0
+	}
+	switch {
+	case c.Pin.MaxPerObject > 0:
+		p.Reg.MaxPerObject = c.Pin.MaxPerObject
+	case c.Pin.MaxPerObject < 0:
+		p.Reg.MaxPerObject = 0
+	}
+	return &p
+}
+
+// ThreadsPerNode reports the hybrid fan-out.
+func (c *Config) ThreadsPerNode() int { return c.Threads / c.Nodes }
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Profile == nil {
+		return fmt.Errorf("core: config needs a transport profile")
+	}
+	if c.Nodes <= 0 || c.Threads <= 0 {
+		return fmt.Errorf("core: need positive threads (%d) and nodes (%d)", c.Threads, c.Nodes)
+	}
+	if c.Threads%c.Nodes != 0 {
+		return fmt.Errorf("core: threads (%d) must be a multiple of nodes (%d)", c.Threads, c.Nodes)
+	}
+	return nil
+}
+
+// putCacheEnabled resolves the effective PUT-caching choice.
+func (c *Config) putCacheEnabled() bool {
+	if !c.Cache.Enabled {
+		return false
+	}
+	switch c.Cache.PutMode {
+	case PutCacheOn:
+		return true
+	case PutCacheOff:
+		return false
+	default:
+		return c.Profile.PutCacheEnabled
+	}
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+
+	"xlupc/internal/addrcache"
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+	"xlupc/internal/svd"
+	"xlupc/internal/trace"
+	"xlupc/internal/transport"
+)
+
+// cacheKey builds the address-cache key for an object on a node.
+func cacheKey(h svd.Handle, node int) addrcache.Key {
+	return addrcache.Key{Handle: h.Key(), Node: int32(node)}
+}
+
+// piggybackBytes is the wire cost of carrying a remote base address on
+// a reply or ACK.
+const piggybackBytes = 8
+
+// --- Protocol message headers ------------------------------------------
+
+// getReq asks the target to read Size bytes at chunk offset Off of H
+// and reply with the data (the default, non-RDMA GET of Figure 3a/5).
+type getReq struct {
+	H        svd.Handle
+	Off      int64
+	Size     int
+	WantAddr bool            // piggyback the base address on the reply
+	Done     *sim.Completion // initiator-side; completed by the reply
+}
+
+// getRep carries the data (as payload) and optionally the base address
+// back to the initiator.
+type getRep struct {
+	H    svd.Handle
+	Base mem.Addr // 0: not piggybacked (pin failed or WantAddr false)
+	Done *sim.Completion
+}
+
+// putReq carries PUT data (as payload) to the target.
+type putReq struct {
+	H        svd.Handle
+	Off      int64
+	WantAddr bool
+	Fence    *sim.Counter // initiator thread's fence; Arrives on ACK
+}
+
+// putAck acknowledges a PUT, optionally piggybacking the base address
+// (the paper populates the cache "either on the data stream or on the
+// ACK message").
+type putAck struct {
+	H     svd.Handle
+	Base  mem.Addr
+	Fence *sim.Counter
+}
+
+// rts is the rendezvous request-to-send for large transfers: the
+// target translates and pins, then answers with an rtr carrying the
+// base address so the transfer itself is zero-copy RDMA.
+type rts struct {
+	H    svd.Handle
+	Size int
+	Done *sim.Completion // completed with rtrResult at the initiator
+}
+
+type rtr struct {
+	H    svd.Handle
+	Base mem.Addr
+	OK   bool // pinning succeeded; false forces the eager fallback
+	Done *sim.Completion
+}
+
+type rtrResult struct {
+	base mem.Addr
+	ok   bool
+}
+
+// --- Target-side handlers ----------------------------------------------
+
+// pinChunk applies the greedy pin-everything policy on first remote
+// access: the whole local chunk of the object is registered at once.
+// It returns the base address to advertise, or 0 if pinning failed
+// (registration limits), and charges the registration cost to the
+// dispatcher (the target CPU on non-overlapping transports).
+func (ns *nodeState) pinChunk(p *sim.Proc, cb *svd.ControlBlock) mem.Addr {
+	if !cb.HasLocal {
+		panic(fmt.Sprintf("core: node %d asked to pin %v, which it does not own", ns.id, cb.Handle))
+	}
+	cost, err := ns.tn.Pins.Pin(cb.LocalBase, cb.LocalSize, cb.Handle.Key(), p.Now())
+	if cost > 0 {
+		p.Sleep(cost)
+	}
+	if err != nil {
+		return 0
+	}
+	return cb.LocalBase
+}
+
+func (rt *Runtime) handleGetReq(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*getReq)
+	cb, requeued := ns.resolve(p, m.H, msg)
+	if requeued {
+		return
+	}
+	var base mem.Addr
+	if m.WantAddr {
+		base = ns.pinChunk(p, cb)
+	}
+	// Eager reply: the data is copied into a (pre-registered) bounce
+	// buffer before injection — the copy cost that RDMA avoids.
+	p.Sleep(sim.BytesTime(m.Size, rt.cfg.Profile.CopyByteTime))
+	data := n.Mem.ReadAlloc(cb.LocalBase+mem.Addr(m.Off), m.Size)
+	extra := 0
+	if base != 0 {
+		extra = piggybackBytes
+	}
+	rt.M.ReplyAM(p, n.ID, msg.Src, hGetRep, &getRep{H: m.H, Base: base, Done: m.Done}, data, extra)
+}
+
+func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*getRep)
+	// Copy out of the receive bounce buffer.
+	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
+	if m.Base != 0 && ns.cache != nil {
+		p.Sleep(rt.cfg.Profile.CacheInsertCost)
+		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
+	}
+	m.Done.Complete(msg.Payload)
+}
+
+func (rt *Runtime) handlePutReq(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*putReq)
+	cb, requeued := ns.resolve(p, m.H, msg)
+	if requeued {
+		return
+	}
+	var base mem.Addr
+	if m.WantAddr {
+		base = ns.pinChunk(p, cb)
+	}
+	// Copy from the receive bounce buffer into place.
+	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
+	n.Mem.Write(cb.LocalBase+mem.Addr(m.Off), msg.Payload)
+	extra := 0
+	if base != 0 {
+		extra = piggybackBytes
+	}
+	rt.M.ReplyAM(p, n.ID, msg.Src, hPutAck, &putAck{H: m.H, Base: base, Fence: m.Fence}, nil, extra)
+}
+
+func (rt *Runtime) handlePutAck(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*putAck)
+	if m.Base != 0 && ns.cache != nil {
+		p.Sleep(rt.cfg.Profile.CacheInsertCost)
+		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
+	}
+	m.Fence.Arrive()
+}
+
+func (rt *Runtime) handleRTS(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*rts)
+	cb, requeued := ns.resolve(p, m.H, msg)
+	if requeued {
+		return
+	}
+	base := ns.pinChunk(p, cb) // rendezvous always registers
+	rt.M.ReplyAM(p, n.ID, msg.Src, hRTR,
+		&rtr{H: m.H, Base: base, OK: base != 0, Done: m.Done}, nil, piggybackBytes)
+}
+
+func (rt *Runtime) handleRTR(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*rtr)
+	if m.OK && ns.cache != nil {
+		p.Sleep(rt.cfg.Profile.CacheInsertCost)
+		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
+	}
+	m.Done.Complete(rtrResult{base: m.Base, ok: m.OK})
+}
+
+// --- Initiator-side operations ------------------------------------------
+
+// getRun reads len(dst) bytes at element idx, which the caller
+// guarantees is a single-affinity contiguous run.
+func (t *Thread) getRun(a *SharedArray, idx int64, dst []byte) {
+	prof := t.rt.cfg.Profile
+	size := len(dst)
+	rn := a.l.NodeOf(idx)
+	start := t.p.Now()
+
+	if rn == t.ns.id {
+		// Intra-node: shared memory, no network.
+		cb := t.localCB(a)
+		t.p.Sleep(prof.ShmLatency + sim.BytesTime(size, prof.ShmByteTime))
+		t.ns.tn.Mem.Read(dst, cb.LocalBase+mem.Addr(a.l.ChunkOffset(idx)))
+		t.localGets++
+		return
+	}
+
+	off := a.l.ChunkOffset(idx)
+	t.rt.cfg.Trace.Begin(t.id, trace.StateGetWait, start)
+	defer func() {
+		t.rt.cfg.Trace.End(t.id, t.p.Now())
+		t.gets++
+		t.getTime += t.p.Now() - start
+	}()
+
+	if t.ns.cache != nil {
+		t.p.Sleep(prof.CacheLookupCost)
+		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+			// RDMA fast path: final remote address computed locally.
+			data, ok := t.rt.M.RDMAGet(t.p, t.ns.id, rn, base, base+mem.Addr(off), size)
+			if ok {
+				copy(dst, data)
+				return
+			}
+			// The target deregistered the region (limited pinning):
+			// drop the stale entry and fall through to the slow path,
+			// which will repin and repopulate.
+			t.ns.cache.Remove(cacheKey(a.h, rn))
+		}
+	}
+	if size <= prof.EagerMax || !prof.SupportsRDMA {
+		// Eager always; transports without one-sided hardware stream
+		// large transfers through the copy path too.
+		t.eagerGet(a, rn, off, dst)
+		return
+	}
+	// Rendezvous: fetch the remote base address, then zero-copy RDMA.
+	res := t.rendezvous(a, rn, size)
+	if !res.ok {
+		t.eagerGet(a, rn, off, dst) // registration refused: copy path
+		return
+	}
+	data, ok := t.rt.M.RDMAGet(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), size)
+	if !ok { // evicted between the RTR and the transfer
+		if t.ns.cache != nil {
+			t.ns.cache.Remove(cacheKey(a.h, rn))
+		}
+		t.eagerGet(a, rn, off, dst)
+		return
+	}
+	copy(dst, data)
+}
+
+func (t *Thread) eagerGet(a *SharedArray, rn int, off int64, dst []byte) {
+	done := sim.NewCompletion(t.rt.K, "get")
+	t.rt.M.SendAM(t.p, t.ns.id, rn, hGetReq,
+		&getReq{H: a.h, Off: off, Size: len(dst), WantAddr: t.ns.cache != nil, Done: done}, nil, 0)
+	t.p.Wait(done)
+	copy(dst, done.Value().([]byte))
+}
+
+func (t *Thread) rendezvous(a *SharedArray, rn int, size int) rtrResult {
+	done := sim.NewCompletion(t.rt.K, "rts")
+	t.rt.M.SendAM(t.p, t.ns.id, rn, hRTS, &rts{H: a.h, Size: size, Done: done}, nil, 0)
+	t.p.Wait(done)
+	return done.Value().(rtrResult)
+}
+
+// putRun writes src at element idx (a single-affinity contiguous run).
+// Remote PUTs are asynchronous: they complete under the thread's fence.
+func (t *Thread) putRun(a *SharedArray, idx int64, src []byte) {
+	prof := t.rt.cfg.Profile
+	size := len(src)
+	rn := a.l.NodeOf(idx)
+	start := t.p.Now()
+
+	if rn == t.ns.id {
+		cb := t.localCB(a)
+		t.p.Sleep(prof.ShmLatency + sim.BytesTime(size, prof.ShmByteTime))
+		t.ns.tn.Mem.Write(cb.LocalBase+mem.Addr(a.l.ChunkOffset(idx)), src)
+		t.localPuts++
+		return
+	}
+
+	off := a.l.ChunkOffset(idx)
+	t.rt.cfg.Trace.Begin(t.id, trace.StatePut, start)
+	defer func() {
+		t.rt.cfg.Trace.End(t.id, t.p.Now())
+		t.puts++
+		t.putTime += t.p.Now() - start
+	}()
+
+	if t.ns.cache != nil && t.rt.putCache {
+		t.p.Sleep(prof.CacheLookupCost)
+		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+			data := append([]byte(nil), src...)
+			remote := t.rt.M.RDMAPut(t.p, t.ns.id, rn, base, base+mem.Addr(off), data)
+			t.fence.Add(1)
+			t.watchPut(remote, a, rn, off, data)
+			return
+		}
+	}
+	if size <= prof.EagerMax || !prof.SupportsRDMA {
+		// Copy into a pre-registered bounce buffer, then fire and forget.
+		t.p.Sleep(sim.BytesTime(size, prof.CopyByteTime))
+		data := append([]byte(nil), src...)
+		t.fence.Add(1)
+		t.rt.M.SendAM(t.p, t.ns.id, rn, hPutReq,
+			&putReq{H: a.h, Off: off, WantAddr: t.ns.cache != nil, Fence: t.fence}, data, 0)
+		return
+	}
+	res := t.rendezvous(a, rn, size)
+	if !res.ok {
+		t.p.Sleep(sim.BytesTime(size, prof.CopyByteTime))
+		data := append([]byte(nil), src...)
+		t.fence.Add(1)
+		t.rt.M.SendAM(t.p, t.ns.id, rn, hPutReq,
+			&putReq{H: a.h, Off: off, WantAddr: false, Fence: t.fence}, data, 0)
+		return
+	}
+	data := append([]byte(nil), src...)
+	remote := t.rt.M.RDMAPut(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), data)
+	t.fence.Add(1)
+	t.watchPut(remote, a, rn, off, data)
+}
+
+// watchPut completes an asynchronous RDMA PUT under the thread's
+// fence. A NACK (the limited-pinning policy deregistered the region
+// mid-flight) drops the stale cache entry and reissues the write over
+// the active-message path from a helper process; the fence does not
+// release until the retry's ACK lands, so fence semantics survive
+// eviction races.
+func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off int64, data []byte) {
+	f := t.fence
+	remote.Then(func(v any) {
+		if _, nack := v.(transport.Nack); !nack {
+			f.Arrive()
+			return
+		}
+		if t.ns.cache != nil {
+			t.ns.cache.Remove(cacheKey(a.h, rn))
+		}
+		prof := t.rt.cfg.Profile
+		t.rt.K.Spawn(fmt.Sprintf("put-retry %d", t.id), func(p *sim.Proc) {
+			p.Sleep(sim.BytesTime(len(data), prof.CopyByteTime))
+			t.rt.M.SendAM(p, t.ns.id, rn, hPutReq,
+				&putReq{H: a.h, Off: off, WantAddr: false, Fence: f}, data, 0)
+		})
+	})
+}

@@ -1,0 +1,115 @@
+package core
+
+// Layout captures the block-cyclic distribution of a shared array over
+// the UPC threads, plus its packing into per-node memory chunks.
+//
+// Element i lives in block i/Block; blocks are dealt round-robin to
+// threads, so block b is affine to thread b%Threads and is that
+// thread's (b/Threads)-th local block. Threads are packed onto nodes
+// contiguously (thread t on node t/ThreadsPerNode), and a node's chunk
+// concatenates one uniform region per resident thread sized for the
+// worst-case block count, so an element's byte offset within its
+// node's chunk is computable anywhere from the layout alone — which is
+// what lets a cache hit turn into base+offset RDMA with no directory
+// involvement at the target.
+type Layout struct {
+	Threads        int
+	ThreadsPerNode int
+	ElemSize       int
+	Block          int64 // elements per block
+	NumElems       int64
+	// Home, when non-negative, pins the whole array to a single
+	// thread (upc_alloc semantics: affinity entirely to the caller).
+	// Negative means ordinary block-cyclic distribution.
+	Home int
+}
+
+// NewLayout builds a layout. A non-positive block size means
+// indefinite blocking (the whole array affine to thread 0), per UPC's
+// layout qualifier semantics.
+func NewLayout(threads, threadsPerNode, elemSize int, block, numElems int64) Layout {
+	if block <= 0 {
+		block = numElems
+		if block <= 0 {
+			block = 1
+		}
+	}
+	return Layout{
+		Threads:        threads,
+		ThreadsPerNode: threadsPerNode,
+		ElemSize:       elemSize,
+		Block:          block,
+		NumElems:       numElems,
+		Home:           -1,
+	}
+}
+
+// blocksPerThread is the worst-case number of blocks any thread owns.
+func (l Layout) blocksPerThread() int64 {
+	perRound := l.Block * int64(l.Threads)
+	return (l.NumElems + perRound - 1) / perRound
+}
+
+// ThreadRegionBytes is the uniform per-thread region size in a node
+// chunk.
+func (l Layout) ThreadRegionBytes() int64 {
+	return l.blocksPerThread() * l.Block * int64(l.ElemSize)
+}
+
+// NodeChunkBytes is the size of the chunk node must allocate: uniform
+// across nodes for block-cyclic arrays, everything on the home node
+// (and nothing elsewhere) for home-pinned ones.
+func (l Layout) NodeChunkBytes(node int) int64 {
+	if l.Home >= 0 {
+		if node == l.Home/l.ThreadsPerNode {
+			return l.NumElems * int64(l.ElemSize)
+		}
+		return 0
+	}
+	return int64(l.ThreadsPerNode) * l.ThreadRegionBytes()
+}
+
+// Owner reports the UPC thread element i has affinity to.
+func (l Layout) Owner(i int64) int {
+	if l.Home >= 0 {
+		return l.Home
+	}
+	return int((i / l.Block) % int64(l.Threads))
+}
+
+// NodeOf reports the node that owns element i.
+func (l Layout) NodeOf(i int64) int {
+	return l.Owner(i) / l.ThreadsPerNode
+}
+
+// Phase reports upc_phaseof: the element's position within its block.
+func (l Layout) Phase(i int64) int64 { return i % l.Block }
+
+// ChunkOffset reports the byte offset of element i within its owning
+// node's chunk.
+func (l Layout) ChunkOffset(i int64) int64 {
+	if l.Home >= 0 {
+		return i * int64(l.ElemSize)
+	}
+	owner := l.Owner(i)
+	slot := int64(owner % l.ThreadsPerNode)
+	localBlock := (i / l.Block) / int64(l.Threads)
+	return slot*l.ThreadRegionBytes() + (localBlock*l.Block+l.Phase(i))*int64(l.ElemSize)
+}
+
+// ContigRun reports how many elements starting at i are contiguous in
+// the owning node's memory and owned by the same thread — the longest
+// run a bulk transfer can move in one message. Within a block that is
+// the rest of the block; consecutive blocks of the same thread are
+// also locally contiguous, but a run never spans into another thread's
+// block, so for Threads > 1 the run ends at the block boundary.
+func (l Layout) ContigRun(i int64) int64 {
+	rest := l.Block - l.Phase(i)
+	if l.Threads == 1 || l.Home >= 0 {
+		rest = l.NumElems - i // single affinity, fully contiguous
+	}
+	if max := l.NumElems - i; rest > max {
+		rest = max
+	}
+	return rest
+}

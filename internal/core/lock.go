@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"xlupc/internal/sim"
+	"xlupc/internal/svd"
+	"xlupc/internal/trace"
+	"xlupc/internal/transport"
+)
+
+// Lock is a UPC shared lock. Its queue lives on its home node; remote
+// threads acquire and release it with active messages, co-located ones
+// directly. Grants are FIFO.
+type Lock struct {
+	rt   *Runtime
+	h    svd.Handle
+	home int // home node
+	name string
+}
+
+// Handle returns the lock's SVD handle.
+func (l *Lock) Handle() svd.Handle { return l.h }
+
+// lockHome is the home node's state for one lock.
+type lockHome struct {
+	held  bool
+	queue []*lockWaiter
+}
+
+type lockWaiter struct {
+	node int
+	done *sim.Completion
+}
+
+type lockReq struct {
+	H    svd.Handle
+	Done *sim.Completion
+}
+
+type lockGrant struct {
+	Done *sim.Completion
+}
+
+type unlockReq struct {
+	H svd.Handle
+}
+
+// lockCPUCost models the home-side queue manipulation.
+const lockCPUCost = 120 * sim.Ns
+
+// AllLockAlloc collectively creates a shared lock whose home is thread
+// 0's node (upc_all_lock_alloc). All threads receive the same lock.
+func (t *Thread) AllLockAlloc(name string) *Lock {
+	t.Barrier()
+	ns := t.ns
+	if t.isNodeRep() {
+		idx := ns.dir.NextIndex(svd.AllPartition)
+		h := svd.Handle{Part: svd.AllPartition, Index: idx}
+		ns.dir.Register(&svd.ControlBlock{Handle: h, Kind: svd.KindLock, Name: name})
+		if ns.id == 0 {
+			ns.locks[h] = &lockHome{}
+		}
+		ns.collective = &Lock{rt: t.rt, h: h, home: 0, name: name}
+	}
+	t.Barrier()
+	return ns.collective.(*Lock)
+}
+
+func (ns *nodeState) lockState(h svd.Handle) *lockHome {
+	lh, ok := ns.locks[h]
+	if !ok {
+		panic(fmt.Sprintf("core: node %d has no home state for lock %v", ns.id, h))
+	}
+	return lh
+}
+
+// Lock acquires l (upc_lock), blocking until granted.
+func (t *Thread) Lock(l *Lock) {
+	t.rt.cfg.Trace.Begin(t.id, trace.StateLockWait, t.p.Now())
+	defer func() { t.rt.cfg.Trace.End(t.id, t.p.Now()) }()
+	if t.ns.id == l.home {
+		t.p.Sleep(lockCPUCost)
+		lh := t.ns.lockState(l.h)
+		if !lh.held {
+			lh.held = true
+			return
+		}
+		done := sim.NewCompletion(t.rt.K, "lock "+l.name)
+		lh.queue = append(lh.queue, &lockWaiter{node: t.ns.id, done: done})
+		t.p.Wait(done)
+		return
+	}
+	done := sim.NewCompletion(t.rt.K, "lock "+l.name)
+	t.rt.M.SendAM(t.p, t.ns.id, l.home, hLockReq, &lockReq{H: l.h, Done: done}, nil, 0)
+	t.p.Wait(done)
+}
+
+// TryLock attempts to acquire l without blocking (upc_lock_attempt):
+// it reports whether the lock was acquired. Remote attempts still pay
+// one message round trip to the home node, as the real runtime's do.
+func (t *Thread) TryLock(l *Lock) bool {
+	if t.ns.id == l.home {
+		t.p.Sleep(lockCPUCost)
+		lh := t.ns.lockState(l.h)
+		if lh.held {
+			return false
+		}
+		lh.held = true
+		return true
+	}
+	done := sim.NewCompletion(t.rt.K, "trylock "+l.name)
+	t.rt.M.SendAM(t.p, t.ns.id, l.home, hLockTry, &lockReq{H: l.h, Done: done}, nil, 0)
+	t.p.Wait(done)
+	return done.Value().(bool)
+}
+
+// Unlock releases l (upc_unlock). The next waiter, if any, is granted
+// in FIFO order.
+func (t *Thread) Unlock(l *Lock) {
+	if t.ns.id == l.home {
+		t.p.Sleep(lockCPUCost)
+		t.rt.homeUnlock(t.p, t.rt.nodes[l.home], l.h)
+		return
+	}
+	t.rt.M.SendAM(t.p, t.ns.id, l.home, hUnlockReq, &unlockReq{H: l.h}, nil, 0)
+}
+
+// homeUnlock passes the lock to the next waiter or releases it.
+// It runs on the home node (thread or dispatcher context).
+func (rt *Runtime) homeUnlock(p *sim.Proc, home *nodeState, h svd.Handle) {
+	lh := home.lockState(h)
+	if !lh.held {
+		panic(fmt.Sprintf("core: unlock of unheld lock %v", h))
+	}
+	if len(lh.queue) == 0 {
+		lh.held = false
+		return
+	}
+	w := lh.queue[0]
+	lh.queue = lh.queue[1:]
+	if w.node == home.id {
+		w.done.Complete(nil)
+		return
+	}
+	rt.M.SendAM(p, home.id, w.node, hLockGrant, &lockGrant{Done: w.done}, nil, 0)
+}
+
+func (rt *Runtime) handleLockReq(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*lockReq)
+	p.Sleep(lockCPUCost)
+	lh := ns.lockState(m.H)
+	if !lh.held {
+		lh.held = true
+		rt.M.ReplyAM(p, n.ID, msg.Src, hLockGrant, &lockGrant{Done: m.Done}, nil, 0)
+		return
+	}
+	lh.queue = append(lh.queue, &lockWaiter{node: msg.Src, done: m.Done})
+}
+
+func (rt *Runtime) handleLockGrant(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	msg.Meta.(*lockGrant).Done.Complete(nil)
+}
+
+// tryResult carries a TryLock outcome back to the initiator.
+type tryResult struct {
+	OK   bool
+	Done *sim.Completion
+}
+
+func (rt *Runtime) handleLockTry(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*lockReq)
+	p.Sleep(lockCPUCost)
+	lh := ns.lockState(m.H)
+	ok := !lh.held
+	if ok {
+		lh.held = true
+	}
+	rt.M.ReplyAM(p, n.ID, msg.Src, hLockTryRep, &tryResult{OK: ok, Done: m.Done}, nil, 0)
+}
+
+func (rt *Runtime) handleLockTryRep(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	m := msg.Meta.(*tryResult)
+	m.Done.Complete(m.OK)
+}
+
+func (rt *Runtime) handleUnlockReq(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
+	m := msg.Meta.(*unlockReq)
+	p.Sleep(lockCPUCost)
+	rt.homeUnlock(p, ns, m.H)
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"xlupc/internal/addrcache"
+	"xlupc/internal/sim"
+	"xlupc/internal/svd"
+	"xlupc/internal/transport"
+)
+
+// Active-message handler ids used by the runtime's protocols.
+const (
+	hGetReq transport.HandlerID = iota + 1
+	hGetRep
+	hPutReq
+	hPutAck
+	hRTS // rendezvous request-to-send (GET and PUT variants in meta)
+	hRTR // rendezvous ready/reply with remote base address
+	hAllocNotify
+	hFreeReq
+	hFreeAck
+	hBarrier
+	hLockReq
+	hLockGrant
+	hUnlockReq
+	hColl
+	hAtomic
+	hAtomicRep
+	hLockTry
+	hLockTryRep
+)
+
+// Runtime is one simulated execution of a UPC program: a kernel, a
+// machine, the per-node runtime state, and the UPC threads.
+type Runtime struct {
+	cfg     Config
+	K       *sim.Kernel
+	M       *transport.Machine
+	nodes   []*nodeState
+	threads []*Thread
+
+	putCache bool // effective PUT-caching decision
+	ran      bool
+}
+
+// nodeState is the per-node runtime state layered over the transport
+// node: the SVD replica, the remote address cache, barrier and lock
+// bookkeeping.
+type nodeState struct {
+	rt    *Runtime
+	id    int
+	tn    *transport.Node
+	dir   *svd.Directory
+	cache *addrcache.Cache
+
+	barrier *nodeBarrier
+	coll    *collState
+	locks   map[svd.Handle]*lockHome
+
+	// collective carries the node representative's result (e.g. the
+	// freshly allocated array) to the node's other threads across the
+	// closing barrier of a collective operation.
+	collective any
+}
+
+// NewRuntime builds the simulated cluster for cfg.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	cfg.Profile = cfg.effectiveProfile()
+	m := transport.NewMachine(k, cfg.Profile, cfg.Nodes)
+	rt := &Runtime{cfg: cfg, K: k, M: m, putCache: cfg.putCacheEnabled()}
+	rt.nodes = make([]*nodeState, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		ns := &nodeState{
+			rt:    rt,
+			id:    i,
+			tn:    m.Nodes[i],
+			dir:   svd.NewDirectory(i, cfg.Threads),
+			locks: make(map[svd.Handle]*lockHome),
+		}
+		// The cache only pays off where one-sided hardware exists; on
+		// RDMA-less transports (BlueGene/L, TCP) the runtime leaves it
+		// off, exactly as a portable deployment would.
+		if cfg.Cache.Enabled && cfg.Profile.SupportsRDMA {
+			ns.cache = addrcache.New(cfg.Cache.Capacity, cfg.Cache.Policy, cfg.Seed+int64(i))
+		}
+		ns.barrier = newNodeBarrier(rt, ns)
+		ns.coll = newCollState()
+		rt.nodes[i] = ns
+	}
+	rt.registerHandlers()
+	rt.threads = make([]*Thread, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		rt.threads[t] = newThread(rt, t)
+	}
+	return rt, nil
+}
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Node returns node n's runtime state (test and tooling hook).
+func (rt *Runtime) node(n int) *nodeState { return rt.nodes[n] }
+
+// nodeOfThread maps a UPC thread id to its node.
+func (rt *Runtime) nodeOfThread(t int) *nodeState {
+	return rt.nodes[t/rt.cfg.ThreadsPerNode()]
+}
+
+// Run executes body once per UPC thread (SPMD), driving the simulation
+// to completion, and returns the run's statistics. The body receives
+// the Thread it runs as; thread 0 is the UPC "main" thread by
+// convention. Run may be called once per Runtime.
+func (rt *Runtime) Run(body func(t *Thread)) (RunStats, error) {
+	if rt.ran {
+		return RunStats{}, fmt.Errorf("core: Runtime.Run called twice; build a fresh Runtime per run")
+	}
+	rt.ran = true
+	for _, th := range rt.threads {
+		th := th
+		rt.K.Spawn(fmt.Sprintf("upc%d", th.id), func(p *sim.Proc) {
+			th.p = p
+			body(th)
+			th.Fence() // drain outstanding PUTs before exiting
+		})
+	}
+	err := rt.K.Run()
+	return rt.stats(), err
+}
+
+// RunStats aggregates a finished run.
+type RunStats struct {
+	Elapsed sim.Time // virtual makespan of the program
+
+	// Cache behaviour, aggregated over nodes and per node.
+	Cache    addrcache.Stats
+	CachePer []addrcache.Stats
+	CacheLen []int // resident entries per node at exit
+
+	// Traffic.
+	Messages int64
+	NetBytes int64
+	AMOps    int64
+	RDMAOps  int64
+
+	// Per-thread operation counters, aggregated.
+	Gets, Puts           int64
+	LocalGets, LocalPuts int64
+	GetTime, PutTime     sim.Time
+
+	// Pinned address table usage.
+	PinnedPeak []int // per node high-water mark of pinned entries
+}
+
+func (rt *Runtime) stats() RunStats {
+	st := RunStats{Elapsed: rt.K.Now()}
+	st.Messages = rt.M.Fab.Messages()
+	st.NetBytes = rt.M.Fab.Bytes()
+	st.AMOps = rt.M.AMCount()
+	st.RDMAOps = rt.M.RDMACount()
+	for _, ns := range rt.nodes {
+		if ns.cache != nil {
+			cs := ns.cache.Stats()
+			st.CachePer = append(st.CachePer, cs)
+			st.CacheLen = append(st.CacheLen, ns.cache.Len())
+			st.Cache.Hits += cs.Hits
+			st.Cache.Misses += cs.Misses
+			st.Cache.Inserts += cs.Inserts
+			st.Cache.Evictions += cs.Evictions
+			st.Cache.Invalidations += cs.Invalidations
+		}
+		st.PinnedPeak = append(st.PinnedPeak, ns.tn.Pins.MaxLive)
+	}
+	for _, th := range rt.threads {
+		st.Gets += th.gets
+		st.Puts += th.puts
+		st.LocalGets += th.localGets
+		st.LocalPuts += th.localPuts
+		st.GetTime += th.getTime
+		st.PutTime += th.putTime
+	}
+	return st
+}
+
+func (rt *Runtime) registerHandlers() {
+	rt.M.Handle(hGetReq, rt.handleGetReq)
+	rt.M.Handle(hGetRep, rt.handleGetRep)
+	rt.M.Handle(hPutReq, rt.handlePutReq)
+	rt.M.Handle(hPutAck, rt.handlePutAck)
+	rt.M.Handle(hRTS, rt.handleRTS)
+	rt.M.Handle(hRTR, rt.handleRTR)
+	rt.M.Handle(hAllocNotify, rt.handleAllocNotify)
+	rt.M.Handle(hFreeReq, rt.handleFreeReq)
+	rt.M.Handle(hFreeAck, rt.handleFreeAck)
+	rt.M.Handle(hBarrier, rt.handleBarrier)
+	rt.M.Handle(hLockReq, rt.handleLockReq)
+	rt.M.Handle(hLockGrant, rt.handleLockGrant)
+	rt.M.Handle(hUnlockReq, rt.handleUnlockReq)
+	rt.M.Handle(hColl, rt.handleColl)
+	rt.M.Handle(hAtomic, rt.handleAtomic)
+	rt.M.Handle(hAtomicRep, rt.handleAtomicRep)
+	rt.M.Handle(hLockTry, rt.handleLockTry)
+	rt.M.Handle(hLockTryRep, rt.handleLockTryRep)
+}
+
+// handleFromKey rebuilds an svd.Handle from its packed key.
+func handleFromKey(k uint64) svd.Handle { return svd.HandleFromKey(k) }
+
+// resolve looks a handle up in node ns's SVD replica from within an AM
+// handler. If the handle is not yet known (its allocation notification
+// is still in flight), the message is requeued after a short delay
+// rather than blocking the dispatcher; the caller must return
+// immediately when resolve reports requeued=true.
+func (ns *nodeState) resolve(p *sim.Proc, h svd.Handle, msg *transport.Msg) (cb *svd.ControlBlock, requeued bool) {
+	p.Sleep(ns.rt.cfg.Profile.SVDLookupCost)
+	cb, ok := ns.dir.LookupAny(h)
+	if !ok { // unknown: retry once the notification lands
+		port := ns.rt.M.Fab.Port(ns.id)
+		ns.rt.K.After(200*sim.Ns, func() { port.AM.Push(msg) })
+		return nil, true
+	}
+	if cb.Freed {
+		panic(fmt.Sprintf("core: node %d: remote access to freed object %v (%s)", ns.id, h, cb.Name))
+	}
+	return cb, false
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xlupc/internal/sim"
+	"xlupc/internal/svd"
+	"xlupc/internal/trace"
+)
+
+// Thread is one UPC thread. Bodies passed to Runtime.Run receive their
+// Thread and use it for every interaction with shared memory and the
+// simulated machine. A Thread's methods may only be called from its
+// own body (the simulation kernel runs one process at a time, so this
+// is a discipline, not a locking requirement).
+type Thread struct {
+	rt *Runtime
+	id int
+	ns *nodeState
+	p  *sim.Proc
+
+	fence *sim.Counter
+	rng   *rand.Rand
+
+	// Counters for RunStats.
+	gets, puts           int64
+	localGets, localPuts int64
+	getTime, putTime     sim.Time
+}
+
+func newThread(rt *Runtime, id int) *Thread {
+	return &Thread{
+		rt:    rt,
+		id:    id,
+		ns:    rt.nodeOfThread(id),
+		fence: sim.NewCounter(rt.K, fmt.Sprintf("fence%d", id), 0),
+		rng:   rand.New(rand.NewSource(rt.cfg.Seed ^ int64(uint64(id)*0x9e3779b97f4a7c15>>1))),
+	}
+}
+
+// ID is the UPC thread id (MYTHREAD).
+func (t *Thread) ID() int { return t.id }
+
+// Threads is the total thread count (THREADS).
+func (t *Thread) Threads() int { return t.rt.cfg.Threads }
+
+// Node is the cluster node this thread runs on.
+func (t *Thread) Node() int { return t.ns.id }
+
+// ThreadsPerNode is the hybrid fan-out (co-located threads share
+// memory and a NIC).
+func (t *Thread) ThreadsPerNode() int { return t.rt.cfg.ThreadsPerNode() }
+
+// Now is the current virtual time.
+func (t *Thread) Now() sim.Time { return t.p.Now() }
+
+// Rand is the thread's deterministic random source (workloads use it
+// so runs are reproducible for a config seed).
+func (t *Thread) Rand() *rand.Rand { return t.rng }
+
+// Compute models local computation: the thread occupies one of its
+// node's cores for d. On transports with no communication overlap this
+// is exactly the time the node cannot serve remote requests.
+func (t *Thread) Compute(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.rt.cfg.Trace.Begin(t.id, trace.StateCompute, t.p.Now())
+	t.ns.tn.CPU.Use(t.p, d)
+	t.rt.cfg.Trace.End(t.id, t.p.Now())
+}
+
+// Sleep advances the thread without occupying a core (idle wait).
+func (t *Thread) Sleep(d sim.Duration) { t.p.Sleep(d) }
+
+// Fence blocks until every PUT this thread issued has completed at its
+// target (upc_fence).
+func (t *Thread) Fence() {
+	if t.fence.Pending() == 0 {
+		return
+	}
+	t.rt.cfg.Trace.Begin(t.id, trace.StateFenceWait, t.p.Now())
+	t.fence.Wait(t.p)
+	t.rt.cfg.Trace.End(t.id, t.p.Now())
+}
+
+// localCB resolves the thread's own node's control block for an array,
+// waiting briefly if the allocation notification is still in flight.
+func (t *Thread) localCB(a *SharedArray) *svd.ControlBlock {
+	for {
+		cb, ok := t.ns.dir.LookupAny(a.h)
+		if ok {
+			if cb.Freed {
+				panic(fmt.Sprintf("core: thread %d: access to freed array %s", t.id, a.name))
+			}
+			return cb
+		}
+		t.p.Sleep(1 * sim.Us)
+	}
+}
+
+// ForAll runs body once for every index of a that is affine to this
+// thread, in ascending order — upc_forall with affinity &a[i]. It
+// walks owned blocks directly rather than filtering all indices.
+func (t *Thread) ForAll(a *SharedArray, body func(i int64)) {
+	l := a.l
+	if l.Home >= 0 {
+		if l.Home == t.id {
+			for i := int64(0); i < l.NumElems; i++ {
+				body(i)
+			}
+		}
+		return
+	}
+	// First block owned by this thread is block number t.id; blocks
+	// recur every Threads blocks.
+	for blk := int64(t.id); blk*l.Block < l.NumElems; blk += int64(l.Threads) {
+		lo := blk * l.Block
+		hi := lo + l.Block
+		if hi > l.NumElems {
+			hi = l.NumElems
+		}
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+}
+
+// --- Element accessors -------------------------------------------------
+
+// Get reads the single element at r into a fresh byte slice.
+func (t *Thread) Get(r Ref) []byte {
+	dst := make([]byte, r.A.l.ElemSize)
+	t.GetBulk(dst, r)
+	return dst
+}
+
+// Put writes one element's bytes at r. PUTs complete asynchronously;
+// Fence or Barrier waits for them.
+func (t *Thread) Put(r Ref, data []byte) {
+	if len(data) != r.A.l.ElemSize {
+		panic(fmt.Sprintf("core: Put of %d bytes into %s with element size %d",
+			len(data), r.A.name, r.A.l.ElemSize))
+	}
+	t.PutBulk(r, data)
+}
+
+// GetUint64 reads element r of an 8-byte-element array.
+func (t *Thread) GetUint64(r Ref) uint64 {
+	var b [8]byte
+	t.GetBulk(b[:], r)
+	return byteOrder.Uint64(b[:])
+}
+
+// PutUint64 writes element r of an 8-byte-element array.
+func (t *Thread) PutUint64(r Ref, v uint64) {
+	var b [8]byte
+	byteOrder.PutUint64(b[:], v)
+	t.PutBulk(r, b[:])
+}
+
+// GetFloat64 reads element r of an 8-byte-element array as a float64.
+func (t *Thread) GetFloat64(r Ref) float64 {
+	return math.Float64frombits(t.GetUint64(r))
+}
+
+// PutFloat64 writes element r of an 8-byte-element array as a float64.
+func (t *Thread) PutFloat64(r Ref, v float64) {
+	t.PutUint64(r, math.Float64bits(v))
+}
+
+// Fill writes n consecutive elements starting at r with the byte b
+// repeated (upc_memset), splitting at affinity boundaries like the
+// bulk transfers.
+func (t *Thread) Fill(r Ref, n int64, b byte) {
+	if n <= 0 {
+		return
+	}
+	es := int64(r.A.ElemSize())
+	buf := make([]byte, n*es)
+	for i := range buf {
+		buf[i] = b
+	}
+	t.PutBulk(r, buf)
+}
+
+// GetBulk reads len(dst) bytes of consecutive elements starting at r
+// (upc_memget). len(dst) must be a multiple of the element size. The
+// transfer is split into per-affinity contiguous runs.
+func (t *Thread) GetBulk(dst []byte, r Ref) {
+	es := int64(r.A.l.ElemSize)
+	if int64(len(dst))%es != 0 {
+		panic("core: GetBulk length not a multiple of element size")
+	}
+	n := int64(len(dst)) / es
+	if n == 0 {
+		return
+	}
+	r.A.check(r.Idx + n - 1)
+	idx, off := r.Idx, int64(0)
+	for n > 0 {
+		run := r.A.l.ContigRun(idx)
+		if run > n {
+			run = n
+		}
+		t.getRun(r.A, idx, dst[off*es:(off+run)*es])
+		idx += run
+		off += run
+		n -= run
+	}
+}
+
+// PutBulk writes len(src) bytes of consecutive elements starting at r
+// (upc_memput). len(src) must be a multiple of the element size.
+func (t *Thread) PutBulk(r Ref, src []byte) {
+	es := int64(r.A.l.ElemSize)
+	if int64(len(src))%es != 0 {
+		panic("core: PutBulk length not a multiple of element size")
+	}
+	n := int64(len(src)) / es
+	if n == 0 {
+		return
+	}
+	r.A.check(r.Idx + n - 1)
+	idx, off := r.Idx, int64(0)
+	for n > 0 {
+		run := r.A.l.ContigRun(idx)
+		if run > n {
+			run = n
+		}
+		t.putRun(r.A, idx, src[off*es:(off+run)*es])
+		idx += run
+		off += run
+		n -= run
+	}
+}
+
+// Copy moves n elements from src to dst (upc_memcpy), staging through
+// the initiator.
+func (t *Thread) Copy(dst, src Ref, n int64) {
+	if n <= 0 {
+		return
+	}
+	if dst.A.l.ElemSize != src.A.l.ElemSize {
+		panic("core: Copy between arrays of different element sizes")
+	}
+	buf := make([]byte, n*int64(src.A.l.ElemSize))
+	t.GetBulk(buf, src)
+	t.PutBulk(dst, buf)
+}

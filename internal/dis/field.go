@@ -1,0 +1,107 @@
+package dis
+
+import (
+	"xlupc/internal/core"
+	"xlupc/internal/sim"
+)
+
+// Field is the Field Stressmark: regular access to a large quantity of
+// data — a string array searched for token strings that delimit sample
+// sets, from which simple statistics are collected; the delimiters
+// themselves are updated in memory. The array is blocked, the outer
+// loop over tokens is sequential (the array mutates every round), and
+// the inner search is parallel: each thread scans its own block plus
+// an overhang of token width into the next thread's block.
+//
+// Scanning is modeled as segmented local computation; between
+// segments the thread reads a small statistics sample from its
+// successor's block (sample sets straddle block boundaries). Those
+// remote reads land while every other CPU is mid-scan — on a transport
+// with no computation/communication overlap (GM) the uncached
+// active-message path stalls until a core frees, which is exactly the
+// "abnormally large remote access times at the overhangs" the paper's
+// Paraver traces exposed; cached RDMA bypasses the CPU and the waits
+// vanish.
+func Field(t *core.Thread, p Params) uint64 {
+	blk := p.FieldBlock
+	n := blk * int64(t.Threads())
+	a := t.AllAlloc("field", n, 1, blk)
+
+	// Owners fill their block with hash-derived "words" over a small
+	// alphabet so tokens genuinely occur.
+	lo := int64(t.ID()) * blk
+	buf := make([]byte, blk)
+	for i := range buf {
+		buf[i] = byte('a' + p.hash(uint64(lo)+uint64(i))%4)
+	}
+	t.PutBulk(a.At(lo), buf)
+	t.Barrier()
+
+	var found uint64
+	tokLen := p.FieldTokenLen
+	succ := (lo + blk) % n // start of the successor's block
+	// Statistics sample sets are drawn from the same block slot on the
+	// next node: always off-node, like the distributed sample sets of
+	// the original benchmark's large data quantities.
+	sampleBase := ((int64(t.ID()) + int64(t.ThreadsPerNode())) % int64(t.Threads())) * blk
+	for round := 0; round < p.FieldTokens; round++ {
+		// The token for this round (same on every thread).
+		tok := make([]byte, tokLen)
+		for i := range tok {
+			tok[i] = byte('a' + p.hash(uint64(round)*31+uint64(i))%4)
+		}
+
+		// Snapshot the local block through shared memory.
+		local := make([]byte, blk)
+		t.GetBulk(local, a.At(lo))
+
+		// Segmented scan with interleaved remote statistics samples.
+		// The per-byte cost is data dependent (matches trigger extra
+		// work), desynchronizing the threads.
+		jitter := 700 + int64(p.hash(uint64(round)*1009+uint64(t.ID()))%601) // 0.7x..1.3x
+		segTime := sim.Time(blk) * p.FieldScanPerByte * sim.Time(jitter) / 1000 /
+			sim.Time(p.FieldSegments)
+		sample := make([]byte, p.FieldSampleBytes)
+		for seg := 0; seg < p.FieldSegments; seg++ {
+			t.Compute(segTime)
+			off := (int64(seg)*2311 + int64(round)*977) % (blk - int64(p.FieldSampleBytes))
+			t.GetBulk(sample, a.At(sampleBase+off)) // next node's slot: remote
+			for _, b := range sample {
+				found += uint64(b) & 1
+			}
+		}
+
+		// Overhang: extend the search across the block boundary.
+		overhang := tokLen - 1
+		ext := make([]byte, overhang)
+		t.GetBulk(ext, a.At(succ)) // wraps: last thread samples thread 0
+		scan := append(local, ext...)
+
+		// Search over the snapshot, collecting match positions.
+		var matches []int64
+		for i := 0; i+int(tokLen) <= len(scan); i++ {
+			match := true
+			for j := int64(0); j < tokLen; j++ {
+				if scan[i+int(j)] != tok[j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				found++
+				matches = append(matches, (lo+int64(i))%n)
+				i += int(tokLen) - 1
+			}
+		}
+		// All threads scanned the same snapshot; synchronize, then
+		// update the delimiter byte of every match ('Z' writes are
+		// idempotent, so overhang duplicates are harmless and the
+		// result is independent of timing and of the cache).
+		t.Barrier()
+		for _, pos := range matches {
+			t.Put(a.At(pos), []byte{'Z'})
+		}
+		t.Barrier() // the outer loop is sequential across rounds
+	}
+	return found
+}

@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"fmt"
+
+	"xlupc/internal/sim"
+)
+
+// WireModel carries the interconnect timing parameters.
+type WireModel struct {
+	BaseLatency sim.Time // fixed per-message wire latency
+	HopLatency  sim.Time // additional latency per switch hop
+	ByteTime    sim.Time // serialization cost, ps per byte
+}
+
+// Latency is the route latency between two nodes for the given
+// topology (excluding serialization, which is charged at injection).
+func (w WireModel) Latency(topo Topology, src, dst int) sim.Time {
+	return w.BaseLatency + sim.Time(topo.Hops(src, dst))*w.HopLatency
+}
+
+// Serialize is the injection time of n bytes.
+func (w WireModel) Serialize(n int) sim.Time { return sim.BytesTime(n, w.ByteTime) }
+
+// Class separates the two arrival paths at a node: messages that need
+// software handling (active messages) and descriptors the NIC's DMA
+// engine services without CPU involvement (RDMA).
+type Class int
+
+const (
+	ClassAM Class = iota
+	ClassDMA
+)
+
+// Port is one node's attachment to the fabric.
+type Port struct {
+	// TX is the NIC injection port: a single engine all senders on
+	// the node share. This is where the paper's "four threads
+	// competing for the same network device" contention appears.
+	TX *sim.Resource
+	// AM is the arrival queue for active messages (serviced by a
+	// software dispatcher that needs a CPU).
+	AM *sim.Queue[any]
+	// DMA is the arrival queue for RDMA descriptors (serviced by the
+	// NIC's DMA engine with no CPU involvement).
+	DMA *sim.Queue[any]
+}
+
+// Fabric is the simulated interconnect instance.
+type Fabric struct {
+	k     *sim.Kernel
+	topo  Topology
+	wire  WireModel
+	ports []*Port
+
+	// Accounting.
+	messages int64
+	bytes    int64
+}
+
+// New builds a fabric over the given topology and wire model.
+func New(k *sim.Kernel, topo Topology, wire WireModel) *Fabric {
+	f := &Fabric{k: k, topo: topo, wire: wire}
+	f.ports = make([]*Port, topo.Nodes())
+	for i := range f.ports {
+		f.ports[i] = &Port{
+			TX:  sim.NewResource(k, fmt.Sprintf("nic%d.tx", i), 1),
+			AM:  sim.NewQueue[any](k, fmt.Sprintf("nic%d.am", i)),
+			DMA: sim.NewQueue[any](k, fmt.Sprintf("nic%d.dma", i)),
+		}
+	}
+	return f
+}
+
+// Kernel returns the simulation kernel.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// Topology returns the topology.
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// Wire returns the wire model.
+func (f *Fabric) Wire() WireModel { return f.wire }
+
+// Nodes is the number of nodes.
+func (f *Fabric) Nodes() int { return f.topo.Nodes() }
+
+// Port returns node n's attachment.
+func (f *Fabric) Port(n int) *Port { return f.ports[n] }
+
+// Messages and Bytes report traffic totals.
+func (f *Fabric) Messages() int64 { return f.messages }
+func (f *Fabric) Bytes() int64    { return f.bytes }
+
+// Inject sends a message of size wire bytes from src to dst, arriving
+// on dst's queue for the given class. The calling process must already
+// hold src's TX port; Inject charges the serialization time (the
+// caller keeps holding TX through it), then schedules delivery after
+// the route latency. It returns the arrival time.
+//
+// Sending to the local node is a protocol bug — co-located threads
+// communicate through shared memory, never the NIC — and panics.
+func (f *Fabric) Inject(p *sim.Proc, src, dst int, size int, class Class, m any) sim.Time {
+	if src == dst {
+		panic(fmt.Sprintf("fabric: node %d sending to itself", src))
+	}
+	f.messages++
+	f.bytes += int64(size)
+	p.Sleep(f.wire.Serialize(size))
+	arrive := f.k.Now() + f.wire.Latency(f.topo, src, dst)
+	port := f.ports[dst]
+	f.k.At(arrive, func() {
+		switch class {
+		case ClassDMA:
+			port.DMA.Push(m)
+		default:
+			port.AM.Push(m)
+		}
+	})
+	return arrive
+}

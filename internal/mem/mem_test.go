@@ -1,0 +1,363 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xlupc/internal/sim"
+)
+
+func TestAllocWriteRead(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc(100)
+	if a == 0 {
+		t.Fatal("allocated at nil address")
+	}
+	data := []byte("hello shared world")
+	s.Write(a+10, data)
+	got := s.ReadAlloc(a+10, len(data))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+}
+
+func TestAllocAlignmentAndRounding(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc(1)
+	b := s.Alloc(65)
+	if a%Align != 0 || b%Align != 0 {
+		t.Fatalf("unaligned bases %#x %#x", a, b)
+	}
+	if s.SizeOf(a) != Align || s.SizeOf(b) != 2*Align {
+		t.Fatalf("sizes %d %d", s.SizeOf(a), s.SizeOf(b))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeReuseAddress(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc(256)
+	s.Free(a)
+	b := s.Alloc(256)
+	if a != b {
+		t.Fatalf("freed address %#x not reused (got %#x)", a, b)
+	}
+	// Fresh allocation must be zeroed even though the address recurs.
+	if got := s.ReadAlloc(b, 4); !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatalf("recycled memory not zeroed: %v", got)
+	}
+}
+
+func TestFreeSplitAndCoalesce(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc(128)
+	b := s.Alloc(128)
+	c := s.Alloc(128)
+	s.Free(a)
+	s.Free(c)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s.Free(b) // should coalesce all three
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Alloc(384)
+	if d != a {
+		t.Fatalf("coalesced block not reused: got %#x want %#x", d, a)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSpace(0)
+	a := s.Alloc(64)
+	s.Free(a)
+	s.Free(a)
+}
+
+func TestAccessFreedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSpace(0)
+	a := s.Alloc(64)
+	s.Free(a)
+	s.Write(a, []byte{1})
+}
+
+func TestOutOfBoundsAccessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSpace(0)
+	a := s.Alloc(64)
+	s.Write(a+60, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+}
+
+func TestCrossSegmentAccessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewSpace(0)
+	a := s.Alloc(64)
+	s.Alloc(64)
+	var buf [128]byte
+	s.Read(buf[:], a)
+}
+
+// Property: random alloc/free/write sequences keep invariants and data
+// integrity (each live allocation holds exactly what was written).
+func TestPropertyAllocatorIntegrity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSpace(0)
+		type live struct {
+			base Addr
+			data []byte
+		}
+		var lives []live
+		for op := 0; op < 300; op++ {
+			switch {
+			case len(lives) == 0 || rng.Intn(3) > 0:
+				n := rng.Intn(500) + 1
+				base := s.Alloc(n)
+				data := make([]byte, n)
+				rng.Read(data)
+				s.Write(base, data)
+				lives = append(lives, live{base, data})
+			default:
+				i := rng.Intn(len(lives))
+				s.Free(lives[i].base)
+				lives = append(lives[:i], lives[i+1:]...)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		for _, l := range lives {
+			if !bytes.Equal(s.ReadAlloc(l.base, len(l.data)), l.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testModel() CostModel {
+	return CostModel{
+		RegBase: 10 * sim.Us, RegPerPage: 1 * sim.Us,
+		DeregBase: 20 * sim.Us, DeregPerPage: 2 * sim.Us,
+		MaxPerObject: 32 << 20, MaxTotal: 1 << 30,
+	}
+}
+
+func TestPinCostAndIdempotence(t *testing.T) {
+	pt := NewPinTable(0, testModel(), PinAll)
+	cost, err := pt.Pin(0x1000, 2*PageSize, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 12*sim.Us {
+		t.Fatalf("cost = %v, want 12us", cost)
+	}
+	cost2, err := pt.Pin(0x1000, 2*PageSize, 0, 5)
+	if err != nil || cost2 != 0 {
+		t.Fatalf("re-pin cost=%v err=%v, want free", cost2, err)
+	}
+	if pt.TotalPinned() != 2*PageSize || pt.Live() != 1 || pt.Pins != 1 {
+		t.Fatalf("table state: total=%d live=%d pins=%d", pt.TotalPinned(), pt.Live(), pt.Pins)
+	}
+}
+
+func TestPinPartialPageRoundsUp(t *testing.T) {
+	m := testModel()
+	if m.RegCost(1) != m.RegBase+m.RegPerPage {
+		t.Fatalf("1-byte registration should cost one page")
+	}
+	if m.RegCost(PageSize+1) != m.RegBase+2*m.RegPerPage {
+		t.Fatalf("page+1 registration should cost two pages")
+	}
+}
+
+func TestPinPerObjectLimit(t *testing.T) {
+	pt := NewPinTable(0, testModel(), PinAll)
+	_, err := pt.Pin(0x1000, 33<<20, 0, 0)
+	if err == nil {
+		t.Fatal("expected per-object limit error")
+	}
+	if _, ok := err.(*ErrPinLimit); !ok {
+		t.Fatalf("err type %T", err)
+	}
+}
+
+func TestPinAllTotalLimitFails(t *testing.T) {
+	m := testModel()
+	m.MaxTotal = 10 * PageSize
+	m.MaxPerObject = 0
+	pt := NewPinTable(0, m, PinAll)
+	if _, err := pt.Pin(0x1000, 8*PageSize, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Pin(0x9000, 4*PageSize, 0, 1); err == nil {
+		t.Fatal("expected total limit error under PinAll")
+	}
+}
+
+func TestPinLimitedEvictsLRU(t *testing.T) {
+	m := testModel()
+	m.MaxTotal = 10 * PageSize
+	m.MaxPerObject = 0
+	pt := NewPinTable(0, m, PinLimited)
+	if _, err := pt.Pin(0x1000, 4*PageSize, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Pin(0x9000, 4*PageSize, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	pt.Touch(0x1000, 2) // make 0x9000 the LRU
+	cost, err := pt.Pin(0x20000, 4*PageSize, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvict := m.DeregCost(4 * PageSize)
+	wantReg := m.RegCost(4 * PageSize)
+	if cost != wantEvict+wantReg {
+		t.Fatalf("cost = %v, want %v", cost, wantEvict+wantReg)
+	}
+	if pt.IsPinned(0x9000) {
+		t.Fatal("LRU region not evicted")
+	}
+	if !pt.IsPinned(0x1000) || !pt.IsPinned(0x20000) {
+		t.Fatal("wrong victim chosen")
+	}
+	if pt.Evicted != 1 {
+		t.Fatalf("evicted = %d", pt.Evicted)
+	}
+}
+
+func TestUnpin(t *testing.T) {
+	pt := NewPinTable(0, testModel(), PinAll)
+	if _, err := pt.Pin(0x1000, PageSize, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	cost := pt.Unpin(0x1000)
+	if cost != testModel().DeregCost(PageSize) {
+		t.Fatalf("unpin cost %v", cost)
+	}
+	if pt.IsPinned(0x1000) || pt.TotalPinned() != 0 {
+		t.Fatal("unpin did not remove entry")
+	}
+	if pt.Unpin(0x1000) != 0 {
+		t.Fatal("unpin of unpinned region should be free")
+	}
+}
+
+func TestTouchUnpinnedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	pt := NewPinTable(0, testModel(), PinAll)
+	pt.Touch(0x1000, 0)
+}
+
+// Property: under PinLimited with random pin sizes, total pinned never
+// exceeds MaxTotal and entry count tracks the map.
+func TestPropertyPinLimitedBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := testModel()
+		m.MaxTotal = 64 * PageSize
+		m.MaxPerObject = 32 * PageSize
+		pt := NewPinTable(0, m, PinLimited)
+		for i := 0; i < 200; i++ {
+			base := Addr((i + 1) * 0x10000)
+			size := (rng.Intn(40) + 1) * PageSize
+			_, err := pt.Pin(base, size, 0, sim.Time(i))
+			if size > m.MaxPerObject {
+				if err == nil {
+					return false
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			if pt.TotalPinned() > m.MaxTotal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	s := NewSpace(3)
+	if s.Node() != 3 {
+		t.Fatal("node id wrong")
+	}
+	a := s.Alloc(100) // rounds to 128
+	b := s.Alloc(64)
+	if s.LiveBytes() != 192 || s.Allocs() != 2 || s.Frees() != 0 {
+		t.Fatalf("accounting: live=%d allocs=%d frees=%d", s.LiveBytes(), s.Allocs(), s.Frees())
+	}
+	if !s.Live(a) || !s.Live(b) || s.Live(a+1) {
+		t.Fatal("Live() wrong")
+	}
+	s.Free(a)
+	if s.LiveBytes() != 64 || s.Frees() != 1 {
+		t.Fatalf("after free: live=%d frees=%d", s.LiveBytes(), s.Frees())
+	}
+}
+
+func TestSizeOfUnallocatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpace(0).SizeOf(0x40)
+}
+
+func TestErrPinLimitMessage(t *testing.T) {
+	e := &ErrPinLimit{Base: 0x40, Size: 100, Reason: "too big", Limit: 50}
+	if !strings.Contains(e.Error(), "too big") || !strings.Contains(e.Error(), "100") {
+		t.Fatalf("message %q", e.Error())
+	}
+}
+
+func TestPinPolicyString(t *testing.T) {
+	if PinAll.String() != "pin-all" || PinLimited.String() != "pin-limited" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestPinTablePolicyAccessor(t *testing.T) {
+	if NewPinTable(0, testModel(), PinLimited).Policy() != PinLimited {
+		t.Fatal("policy accessor wrong")
+	}
+}

@@ -1,0 +1,211 @@
+package mem
+
+import (
+	"fmt"
+
+	"xlupc/internal/sim"
+)
+
+// PageSize is the registration granularity of the simulated NICs.
+const PageSize = 4096
+
+// CostModel carries the registration cost parameters of a transport:
+// pinning is expensive, deregistration more so (the GM observation the
+// paper leans on).
+type CostModel struct {
+	RegBase      sim.Time // fixed cost per registration call
+	RegPerPage   sim.Time // per-page cost
+	DeregBase    sim.Time
+	DeregPerPage sim.Time
+	// MaxPerObject caps a single registration handle (32 MB for LAPI).
+	// Zero means unlimited.
+	MaxPerObject int
+	// MaxTotal caps total pinned memory per node (1 GB of DMAable
+	// memory for GM). Zero means unlimited.
+	MaxTotal int
+}
+
+func pages(size int) int { return (size + PageSize - 1) / PageSize }
+
+// RegCost is the virtual-time cost of registering size bytes.
+func (c CostModel) RegCost(size int) sim.Time {
+	return c.RegBase + sim.Time(pages(size))*c.RegPerPage
+}
+
+// DeregCost is the virtual-time cost of deregistering size bytes.
+func (c CostModel) DeregCost(size int) sim.Time {
+	return c.DeregBase + sim.Time(pages(size))*c.DeregPerPage
+}
+
+// PinEntry describes one registered (pinned) region: the paper's
+// pinned address table is "tagged by local virtual addresses and
+// contains physical addresses in the format needed by RDMA operations".
+// The simulated RDMA address is just the virtual address plus a node
+// tag, but the entry is what gates RDMA access.
+type PinEntry struct {
+	Base    Addr
+	Size    int
+	Tag     uint64 // owner tag (the shared object's handle key)
+	LastUse sim.Time
+	seq     int64 // insertion order, for deterministic LRU ties
+}
+
+// ErrPinLimit is returned when a pin request cannot be satisfied
+// within the configured limits.
+type ErrPinLimit struct {
+	Base   Addr
+	Size   int
+	Reason string
+	Limit  int
+}
+
+func (e *ErrPinLimit) Error() string {
+	return fmt.Sprintf("mem: cannot pin %d bytes at %#x: %s (limit %d)", e.Size, e.Base, e.Reason, e.Limit)
+}
+
+// PinPolicy decides what happens when a pin request exceeds MaxTotal.
+type PinPolicy int
+
+const (
+	// PinAll is the paper's greedy "pin everything" strategy (§3.1):
+	// whole objects are pinned on first access and stay pinned until
+	// freed. Exceeding the total limit is an error the caller must
+	// handle (falling back to the non-RDMA path).
+	PinAll PinPolicy = iota
+	// PinLimited is the "more elaborated technique" of [10]: when the
+	// total limit would be exceeded, least-recently-used pinned
+	// regions are deregistered (at deregistration cost) to make room.
+	PinLimited
+)
+
+func (p PinPolicy) String() string {
+	if p == PinLimited {
+		return "pin-limited"
+	}
+	return "pin-all"
+}
+
+// PinTable is a node's pinned address table.
+type PinTable struct {
+	node    int
+	model   CostModel
+	policy  PinPolicy
+	entries map[Addr]*PinEntry
+	total   int
+	seq     int64
+
+	// Counters.
+	Pins    int64
+	Unpins  int64
+	Evicted int64 // PinLimited-policy deregistrations
+	MaxLive int   // high-water mark of simultaneously pinned entries
+}
+
+// NewPinTable returns an empty pinned address table for node.
+func NewPinTable(node int, model CostModel, policy PinPolicy) *PinTable {
+	return &PinTable{node: node, model: model, policy: policy, entries: make(map[Addr]*PinEntry)}
+}
+
+// Policy returns the table's pinning policy.
+func (t *PinTable) Policy() PinPolicy { return t.policy }
+
+// TotalPinned reports the total pinned bytes.
+func (t *PinTable) TotalPinned() int { return t.total }
+
+// Live reports the number of pinned regions.
+func (t *PinTable) Live() int { return len(t.entries) }
+
+// IsPinned reports whether the region based at base is pinned.
+func (t *PinTable) IsPinned(base Addr) bool {
+	_, ok := t.entries[base]
+	return ok
+}
+
+// Touch records an RDMA use of the region at base (for LRU) at time
+// now. Touching an unpinned region is a protocol bug and panics: it
+// means an RDMA operation targeted unregistered memory.
+func (t *PinTable) Touch(base Addr, now sim.Time) {
+	if !t.TouchOK(base, now) {
+		panic(fmt.Sprintf("mem: node %d: RDMA access to unpinned region %#x", t.node, base))
+	}
+}
+
+// TouchOK is Touch for transports that tolerate stale registrations
+// (the limited-pinning policy may have deregistered the region): it
+// reports whether the region is still pinned instead of panicking.
+func (t *PinTable) TouchOK(base Addr, now sim.Time) bool {
+	e, ok := t.entries[base]
+	if !ok {
+		return false
+	}
+	e.LastUse = now
+	return true
+}
+
+// Pin registers the region [base, base+size) tagged with the owning
+// object's handle key at time now, and returns the virtual-time cost
+// the caller must charge (registration plus any evictions). Pinning an
+// already-pinned region is free and costless.
+//
+// Per-object limits fail regardless of policy (the caller falls back
+// to non-RDMA transfer, as XLUPC does for over-large LAPI handles).
+// Total limits fail under PinAll and trigger LRU deregistration under
+// PinLimited.
+func (t *PinTable) Pin(base Addr, size int, tag uint64, now sim.Time) (sim.Time, error) {
+	if e, ok := t.entries[base]; ok {
+		e.LastUse = now
+		return 0, nil
+	}
+	if t.model.MaxPerObject > 0 && size > t.model.MaxPerObject {
+		return 0, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds per-object registration limit", Limit: t.model.MaxPerObject}
+	}
+	cost := sim.Time(0)
+	if t.model.MaxTotal > 0 && t.total+size > t.model.MaxTotal {
+		if t.policy == PinAll {
+			return 0, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds total DMAable memory", Limit: t.model.MaxTotal}
+		}
+		for t.total+size > t.model.MaxTotal {
+			victim := t.lruVictim()
+			if victim == nil {
+				return 0, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds total DMAable memory even when empty", Limit: t.model.MaxTotal}
+			}
+			cost += t.model.DeregCost(victim.Size)
+			t.total -= victim.Size
+			delete(t.entries, victim.Base)
+			t.Evicted++
+		}
+	}
+	t.seq++
+	t.entries[base] = &PinEntry{Base: base, Size: size, Tag: tag, LastUse: now, seq: t.seq}
+	t.total += size
+	t.Pins++
+	if len(t.entries) > t.MaxLive {
+		t.MaxLive = len(t.entries)
+	}
+	return cost + t.model.RegCost(size), nil
+}
+
+func (t *PinTable) lruVictim() *PinEntry {
+	var victim *PinEntry
+	for _, e := range t.entries {
+		if victim == nil || e.LastUse < victim.LastUse ||
+			(e.LastUse == victim.LastUse && e.seq < victim.seq) {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// Unpin deregisters the region at base and returns the deregistration
+// cost, or 0 if the region was not pinned (freeing an object that was
+// never remotely accessed).
+func (t *PinTable) Unpin(base Addr) sim.Time {
+	e, ok := t.entries[base]
+	if !ok {
+		return 0
+	}
+	delete(t.entries, base)
+	t.total -= e.Size
+	t.Unpins++
+	return t.model.DeregCost(e.Size)
+}

@@ -1,0 +1,115 @@
+package sim
+
+import "fmt"
+
+// Completion is a one-shot future: processes Wait on it, and some other
+// process or kernel callback Completes it, waking all waiters at the
+// current virtual time. A Completion may carry an arbitrary value.
+type Completion struct {
+	k       *Kernel
+	name    string
+	done    bool
+	at      Time
+	val     any
+	waiters []*Proc
+	thens   []func(v any)
+}
+
+// NewCompletion returns an incomplete Completion. The name appears in
+// deadlock diagnostics.
+func NewCompletion(k *Kernel, name string) *Completion {
+	return &Completion{k: k, name: name}
+}
+
+// Done reports whether the completion has completed.
+func (c *Completion) Done() bool { return c.done }
+
+// Value returns the value passed to Complete, or nil if incomplete or
+// completed with no value.
+func (c *Completion) Value() any { return c.val }
+
+// CompletedAt returns the virtual time of completion (valid once Done).
+func (c *Completion) CompletedAt() Time { return c.at }
+
+// Complete marks the completion done with value v and schedules every
+// waiter to resume at the current time. Completing twice is a bug and
+// panics.
+func (c *Completion) Complete(v any) {
+	if c.done {
+		panic(fmt.Sprintf("sim: completion %q completed twice", c.name))
+	}
+	c.done = true
+	c.val = v
+	c.at = c.k.now
+	for _, p := range c.waiters {
+		c.k.schedule(c.k.now, p, nil)
+	}
+	c.waiters = nil
+	for _, fn := range c.thens {
+		fn := fn
+		c.k.After(0, func() { fn(v) })
+	}
+	c.thens = nil
+}
+
+// Then registers fn to run (as a kernel callback, at completion time)
+// once the completion completes; if it already has, fn is scheduled at
+// the current time. fn must not block.
+func (c *Completion) Then(fn func(v any)) {
+	if c.done {
+		v := c.val
+		c.k.After(0, func() { fn(v) })
+		return
+	}
+	c.thens = append(c.thens, fn)
+}
+
+// CompleteAfter schedules the completion to complete with value v after
+// delay d.
+func (c *Completion) CompleteAfter(d Duration, v any) {
+	c.k.After(d, func() { c.Complete(v) })
+}
+
+// Counter is a countdown latch over n sub-events: Arrive is called n
+// times, and waiters proceed when the count reaches zero. It is used
+// for fence semantics (wait for all outstanding PUT acknowledgements).
+type Counter struct {
+	k       *Kernel
+	name    string
+	pending int
+	waiters []*Proc
+}
+
+// NewCounter returns a counter expecting n arrivals. n may be zero, in
+// which case Wait returns immediately.
+func NewCounter(k *Kernel, name string, n int) *Counter {
+	return &Counter{k: k, name: name, pending: n}
+}
+
+// Add registers n more expected arrivals.
+func (c *Counter) Add(n int) { c.pending += n }
+
+// Pending reports the number of outstanding arrivals.
+func (c *Counter) Pending() int { return c.pending }
+
+// Arrive records one arrival, waking waiters if the count hits zero.
+func (c *Counter) Arrive() {
+	if c.pending <= 0 {
+		panic(fmt.Sprintf("sim: counter %q arrived below zero", c.name))
+	}
+	c.pending--
+	if c.pending == 0 {
+		for _, p := range c.waiters {
+			c.k.schedule(c.k.now, p, nil)
+		}
+		c.waiters = nil
+	}
+}
+
+// Wait blocks p until the counter reaches zero.
+func (c *Counter) Wait(p *Proc) {
+	for c.pending > 0 {
+		c.waiters = append(c.waiters, p)
+		p.park("waiting on counter " + c.name)
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled occurrence: either a process to resume or a
+// callback to run in kernel context.
+type event struct {
+	t   Time
+	seq uint64 // tie-breaker: FIFO among simultaneous events
+	p   *Proc  // non-nil: resume this process
+	fn  func() // non-nil: run this callback (must not block)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any         { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event       { return h[0] }
+func (h *eventHeap) pushEv(e event)   { heap.Push(h, e) }
+func (h *eventHeap) popEv() (e event) { return heap.Pop(h).(event) }
+
+type parkMsg struct {
+	p        *Proc
+	finished bool
+	panicVal any // non-nil if the process panicked; re-raised by Run
+}
+
+// Kernel is the discrete-event simulation engine. Create one with
+// NewKernel, spawn processes with Spawn, then call Run.
+//
+// All simulation state (resources, queues, completions) must only be
+// touched from process bodies or kernel callbacks; the kernel
+// guarantees these never run concurrently.
+type Kernel struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	parked chan parkMsg
+
+	procs   map[*Proc]struct{} // live (spawned, not finished) processes
+	stopped bool
+	limit   Time // 0 = no limit
+}
+
+// NewKernel returns an empty kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		parked: make(chan parkMsg),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetLimit makes Run stop (without error) once the clock would pass t.
+// A zero limit means no limit.
+func (k *Kernel) SetLimit(t Time) { k.limit = t }
+
+// Stop makes Run return after the current event completes. Pending
+// events are discarded.
+func (k *Kernel) Stop() { k.stopped = true }
+
+func (k *Kernel) schedule(t Time, p *Proc, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", t, k.now))
+	}
+	k.seq++
+	k.heap.pushEv(event{t: t, seq: k.seq, p: p, fn: fn})
+}
+
+// At schedules fn to run in kernel context at absolute time t.
+// fn must not block (no Sleep/Wait/Acquire); it may schedule further
+// events, complete completions, and push to queues.
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
+
+// After schedules fn to run d from now. See At for restrictions on fn.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now+d, fn) }
+
+// Spawn creates a new process named name executing body and schedules
+// it to start at the current time. It may be called before Run or from
+// any process or callback during the run.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	return k.spawn(name, body, false)
+}
+
+// SpawnDaemon creates a service process (a dispatcher loop) that is
+// expected to block forever: it does not keep Run alive and is ignored
+// by deadlock detection. Run returns cleanly once only daemons remain.
+func (k *Kernel) SpawnDaemon(name string, body func(p *Proc)) *Proc {
+	return k.spawn(name, body, true)
+}
+
+func (k *Kernel) spawn(name string, body func(p *Proc), daemon bool) *Proc {
+	p := &Proc{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		state:  "starting",
+		daemon: daemon,
+	}
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			msg := parkMsg{p: p, finished: true}
+			if r := recover(); r != nil {
+				msg.panicVal = r
+			}
+			k.parked <- msg
+		}()
+		body(p)
+	}()
+	k.schedule(k.now, p, nil)
+	return p
+}
+
+// Run executes events until the event queue drains, Stop is called, or
+// the optional time limit is reached. It returns a DeadlockError if
+// live processes remain blocked with no pending events, which usually
+// indicates a protocol bug (a completion never completed).
+func (k *Kernel) Run() error {
+	for !k.stopped {
+		if k.heap.Len() == 0 {
+			for p := range k.procs {
+				if !p.daemon {
+					return k.deadlock()
+				}
+			}
+			return nil
+		}
+		if k.limit > 0 && k.heap.peek().t > k.limit {
+			return nil
+		}
+		ev := k.heap.popEv()
+		k.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.p.state = "running"
+		ev.p.resume <- struct{}{}
+		msg := <-k.parked
+		if msg.panicVal != nil {
+			panic(fmt.Sprintf("sim: process %q panicked at %v: %v", msg.p.name, k.now, msg.panicVal))
+		}
+		if msg.finished {
+			msg.p.state = "finished"
+			delete(k.procs, msg.p)
+		}
+	}
+	return nil
+}
+
+// DeadlockError reports the set of processes left blocked when the
+// event queue drained.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name: state", sorted
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v; %d blocked processes:\n  %s",
+		e.At, len(e.Blocked), strings.Join(e.Blocked, "\n  "))
+}
+
+func (k *Kernel) deadlock() error {
+	var blocked []string
+	for p := range k.procs {
+		if p.daemon {
+			continue
+		}
+		blocked = append(blocked, p.name+": "+p.state)
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{At: k.now, Blocked: blocked}
+}

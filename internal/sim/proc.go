@@ -1,0 +1,72 @@
+package sim
+
+// Proc is a simulated process: a goroutine that runs under the
+// kernel's strict one-at-a-time handoff discipline. A Proc's methods
+// may only be called from its own body.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	state  string // diagnostic: what the process is blocked on
+	daemon bool   // service loop; ignored by deadlock detection
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel the process runs under.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park hands control back to the kernel and blocks until resumed.
+func (p *Proc) park(state string) {
+	p.state = state
+	p.k.parked <- parkMsg{p: p}
+	<-p.resume
+	p.state = "running"
+}
+
+// Sleep advances the process's virtual time by d (holding nothing).
+// A non-positive d returns immediately without yielding.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		return
+	}
+	p.k.schedule(p.k.now+d, p, nil)
+	p.park("sleeping")
+}
+
+// SleepUntil blocks the process until absolute time t.
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.k.schedule(t, p, nil)
+	p.park("sleeping")
+}
+
+// Wait blocks the process until c is completed. If c is already
+// complete it returns immediately without yielding.
+func (p *Proc) Wait(c *Completion) {
+	if c.done {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.park("waiting on " + c.name)
+}
+
+// WaitAll blocks until every completion in cs is complete.
+func (p *Proc) WaitAll(cs ...*Completion) {
+	for _, c := range cs {
+		p.Wait(c)
+	}
+}
+
+// Yield reschedules the process at the current time, letting any other
+// events already queued for this instant run first.
+func (p *Proc) Yield() {
+	p.k.schedule(p.k.now, p, nil)
+	p.park("yielding")
+}

@@ -1,0 +1,67 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox connecting producers (processes
+// or kernel callbacks) to consuming processes. It is the delivery
+// point for simulated network messages: the fabric schedules a Push at
+// a message's arrival time, and a dispatcher process loops on Pop.
+type Queue[T any] struct {
+	k       *Kernel
+	name    string
+	items   []T
+	waiters []*Completion
+	pushes  int64
+	maxLen  int
+}
+
+// NewQueue returns an empty queue. The name appears in deadlock
+// diagnostics.
+func NewQueue[T any](k *Kernel, name string) *Queue[T] {
+	return &Queue[T]{k: k, name: name}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Pushes reports the total number of items ever pushed.
+func (q *Queue[T]) Pushes() int64 { return q.pushes }
+
+// MaxLen reports the high-water mark of the queue length.
+func (q *Queue[T]) MaxLen() int { return q.maxLen }
+
+// Push appends v and wakes one waiting consumer, if any. It never
+// blocks and is safe to call from kernel callbacks.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.pushes++
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+	if len(q.waiters) > 0 {
+		c := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		c.Complete(nil)
+	}
+}
+
+// Pop removes and returns the oldest item, blocking p until one is
+// available.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		c := NewCompletion(q.k, "pop "+q.name)
+		q.waiters = append(q.waiters, c)
+		p.Wait(c)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}

@@ -1,0 +1,113 @@
+package sim
+
+// Resource is a FIFO server pool with fixed capacity, modelling
+// contended hardware: CPU cores, a NIC's injection port, a DMA engine.
+// Processes Acquire a slot, hold it for some service time, and Release
+// it; excess acquirers queue in arrival order.
+//
+// Release may be called from kernel callbacks as well as processes
+// (it never blocks), which lets asynchronous protocol steps free
+// hardware they held.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int
+	inUse    int
+	queue    []*resWaiter
+
+	// Accounting.
+	acquires  int64
+	totalWait Duration
+	busyUntil Time // last time utilization was accumulated
+	busyTime  Duration
+}
+
+type resWaiter struct {
+	c     *Completion
+	since Time
+}
+
+// NewResource returns a resource with the given capacity (number of
+// slots that may be held simultaneously). Capacity must be positive.
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the number of slots.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse reports the number of currently held slots.
+func (r *Resource) InUse() int { return r.inUse }
+
+func (r *Resource) accumulate() {
+	r.busyTime += Duration(r.inUse) * (r.k.now - r.busyUntil)
+	r.busyUntil = r.k.now
+}
+
+// Acquire blocks p until a slot is available and takes it.
+func (r *Resource) Acquire(p *Proc) {
+	r.acquires++
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.accumulate()
+		r.inUse++
+		return
+	}
+	w := &resWaiter{c: NewCompletion(r.k, "acquire "+r.name), since: r.k.now}
+	r.queue = append(r.queue, w)
+	p.Wait(w.c)
+	r.totalWait += r.k.now - w.since
+	// The releasing side transferred the slot to us: inUse unchanged.
+}
+
+// TryAcquire takes a slot if one is free, reporting whether it did.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.accumulate()
+		r.acquires++
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release frees a slot, handing it to the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	if len(r.queue) > 0 {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		w.c.Complete(nil)
+		return // slot transferred; inUse unchanged
+	}
+	r.accumulate()
+	r.inUse--
+}
+
+// Use acquires a slot, holds it for service time d, and releases it.
+// This is the common "get served" pattern.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// ResourceStats is a snapshot of a resource's accounting counters.
+type ResourceStats struct {
+	Acquires  int64
+	TotalWait Duration // time acquirers spent queued
+	BusyTime  Duration // integral of slots-held over time
+}
+
+// Stats returns the resource's accounting counters as of now.
+func (r *Resource) Stats() ResourceStats {
+	r.accumulate()
+	return ResourceStats{Acquires: r.acquires, TotalWait: r.totalWait, BusyTime: r.busyTime}
+}

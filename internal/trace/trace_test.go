@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xlupc/internal/sim"
+)
+
+func TestBeginEndIntervals(t *testing.T) {
+	tr := New()
+	tr.Begin(0, StateCompute, 10*sim.Us)
+	tr.End(0, 25*sim.Us)
+	tr.Begin(0, StateGetWait, 25*sim.Us)
+	tr.End(0, 40*sim.Us)
+	ivs := tr.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %d", len(ivs))
+	}
+	if ivs[0].State != StateCompute || ivs[0].Dur() != 15*sim.Us {
+		t.Fatalf("first interval %+v", ivs[0])
+	}
+	if ivs[1].State != StateGetWait || ivs[1].Dur() != 15*sim.Us {
+		t.Fatalf("second interval %+v", ivs[1])
+	}
+}
+
+func TestBeginClosesOpenInterval(t *testing.T) {
+	tr := New()
+	tr.Begin(3, StateCompute, 0)
+	tr.Begin(3, StateBarrier, 5*sim.Us) // implicitly closes compute
+	tr.End(3, 9*sim.Us)
+	ivs := tr.Intervals()
+	if len(ivs) != 2 || ivs[0].End != 5*sim.Us || ivs[1].State != StateBarrier {
+		t.Fatalf("intervals %+v", ivs)
+	}
+}
+
+func TestZeroLengthIntervalsDropped(t *testing.T) {
+	tr := New()
+	tr.Begin(0, StateCompute, 5*sim.Us)
+	tr.End(0, 5*sim.Us)
+	if len(tr.Intervals()) != 0 {
+		t.Fatal("zero-length interval kept")
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Begin(0, StateCompute, 0) // must not panic
+	tr.End(0, 1)
+	tr.Mark(0, "x", 2)
+}
+
+func TestTotalsAndThreadTotal(t *testing.T) {
+	tr := New()
+	tr.Begin(0, StateGetWait, 0)
+	tr.End(0, 10*sim.Us)
+	tr.Begin(1, StateGetWait, 0)
+	tr.End(1, 5*sim.Us)
+	tr.Begin(1, StateCompute, 5*sim.Us)
+	tr.End(1, 8*sim.Us)
+	tot := tr.TotalByState()
+	if tot[StateGetWait] != 15*sim.Us || tot[StateCompute] != 3*sim.Us {
+		t.Fatalf("totals %+v", tot)
+	}
+	if tr.ThreadTotal(1, StateGetWait) != 5*sim.Us {
+		t.Fatalf("thread total %v", tr.ThreadTotal(1, StateGetWait))
+	}
+}
+
+func TestMaxInterval(t *testing.T) {
+	tr := New()
+	tr.Begin(0, StateGetWait, 0)
+	tr.End(0, 3*sim.Us)
+	tr.Begin(1, StateGetWait, 10*sim.Us)
+	tr.End(1, 20*sim.Us)
+	best := tr.MaxInterval(StateGetWait)
+	if best.Thread != 1 || best.Dur() != 10*sim.Us {
+		t.Fatalf("max interval %+v", best)
+	}
+	if tr.MaxInterval(StateBarrier).Dur() != 0 {
+		t.Fatal("expected zero interval for unseen state")
+	}
+}
+
+func TestProfilesSorted(t *testing.T) {
+	tr := New()
+	tr.Begin(0, StateCompute, 0)
+	tr.End(0, 30*sim.Us)
+	tr.Begin(0, StateGetWait, 30*sim.Us)
+	tr.End(0, 40*sim.Us)
+	ps := tr.Profiles()
+	if len(ps) != 2 || ps[0].State != StateCompute || ps[1].State != StateGetWait {
+		t.Fatalf("profiles %+v", ps)
+	}
+	if ps[0].Share < 0.74 || ps[0].Share > 0.76 {
+		t.Fatalf("share %v", ps[0].Share)
+	}
+}
+
+func TestWritePRVFormat(t *testing.T) {
+	tr := New()
+	tr.Begin(2, StateBarrier, 5*sim.Us)
+	tr.End(2, 7*sim.Us)
+	tr.Mark(2, "free", 6*sim.Us)
+	var sb strings.Builder
+	if err := tr.WritePRV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "1:2:5000000:7000000:barrier") {
+		t.Fatalf("state record missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2:2:6000000:free") {
+		t.Fatalf("event record missing:\n%s", out)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateGetWait.String() != "get-wait" || StateCompute.String() != "compute" {
+		t.Fatal("state names wrong")
+	}
+	if State(99).String() != "state(99)" {
+		t.Fatal("unknown state name wrong")
+	}
+}
+
+// Property: for any sequence of Begin/End calls per thread, total time
+// per state equals the sum of interval durations, and intervals of one
+// thread never overlap.
+func TestPropertyNoOverlap(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tr := New()
+		now := map[int]sim.Time{}
+		for _, op := range ops {
+			th := int(op % 3)
+			now[th] += sim.Time(op%7+1) * sim.Us
+			if op%2 == 0 {
+				tr.Begin(th, State(op%uint8(numStates)), now[th])
+			} else {
+				tr.End(th, now[th])
+			}
+		}
+		for th := 0; th < 3; th++ {
+			tr.End(th, now[th]+sim.Us)
+		}
+		byThread := map[int][]Interval{}
+		for _, iv := range tr.Intervals() {
+			byThread[iv.Thread] = append(byThread[iv.Thread], iv)
+		}
+		for _, ivs := range byThread {
+			for i := 1; i < len(ivs); i++ {
+				if ivs[i].Start < ivs[i-1].End {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"fmt"
+
+	"xlupc/internal/fabric"
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+)
+
+// HandlerID names an active-message header handler. The UPC runtime
+// registers its protocol handlers (GET request, PUT request, allocation
+// notification, …) under stable ids.
+type HandlerID uint8
+
+// Handler is a header handler executed by the target node's AM
+// dispatcher, in the dispatcher's process context: it may Sleep to
+// model cost, touch the node's memory and pin table, and send replies.
+// The base RecvOverhead has already been charged when it runs.
+type Handler func(p *sim.Proc, n *Node, m *Msg)
+
+// Msg is one active message.
+type Msg struct {
+	Src, Dst int
+	Handler  HandlerID
+	Meta     any    // protocol header (simulation passes pointers)
+	Payload  []byte // data carried by eager transfers (may be nil)
+	wire     int    // total wire size
+}
+
+// WireSize reports the message's size on the wire.
+func (m *Msg) WireSize() int { return m.wire }
+
+// Machine is a simulated cluster: fabric plus per-node software state
+// and the NIC/AM dispatcher processes.
+type Machine struct {
+	K        *sim.Kernel
+	Prof     *Profile
+	Fab      *fabric.Fabric
+	Nodes    []*Node
+	handlers [256]Handler
+
+	amCount   int64 // active messages sent
+	rdmaCount int64 // RDMA operations issued
+}
+
+// Node is one cluster node as the transport sees it.
+type Node struct {
+	ID   int
+	M    *Machine
+	Mem  *mem.Space
+	Pins *mem.PinTable
+
+	// CPU is the pool of compute cores. Comm is the resource AM
+	// handlers execute on: the same resource as CPU when the
+	// transport has no computation/communication overlap (GM), a
+	// dedicated engine otherwise (LAPI).
+	CPU  *sim.Resource
+	Comm *sim.Resource
+}
+
+// NewMachine builds a cluster of n nodes over the profile's topology
+// and wire model and spawns the per-node dispatcher processes.
+func NewMachine(k *sim.Kernel, prof *Profile, n int) *Machine {
+	m := &Machine{
+		K:    k,
+		Prof: prof,
+		Fab:  fabric.New(k, prof.NewTopo(n), prof.Wire),
+	}
+	m.Nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			ID:   i,
+			M:    m,
+			Mem:  mem.NewSpace(i),
+			Pins: mem.NewPinTable(i, prof.Reg, prof.PinPolicy),
+			CPU:  sim.NewResource(k, fmt.Sprintf("node%d.cpu", i), prof.Cores),
+		}
+		if prof.CommOverlap {
+			cap := prof.CommCapacity
+			if cap <= 0 {
+				cap = 1
+			}
+			nd.Comm = sim.NewResource(k, fmt.Sprintf("node%d.comm", i), cap)
+		} else {
+			nd.Comm = nd.CPU
+		}
+		m.Nodes[i] = nd
+		m.spawnDispatchers(nd)
+	}
+	return m
+}
+
+// Handle registers the handler for id. Registration happens before the
+// simulation starts; re-registration panics.
+func (m *Machine) Handle(id HandlerID, h Handler) {
+	if m.handlers[id] != nil {
+		panic(fmt.Sprintf("transport: duplicate handler %d", id))
+	}
+	m.handlers[id] = h
+}
+
+// AMCount and RDMACount report operation totals.
+func (m *Machine) AMCount() int64   { return m.amCount }
+func (m *Machine) RDMACount() int64 { return m.rdmaCount }
+
+func (m *Machine) spawnDispatchers(nd *Node) {
+	port := m.Fab.Port(nd.ID)
+	// The AM dispatchers drain incoming active messages. Each message
+	// is serviced by its header handler, which must run on the Comm
+	// resource: the compute CPU itself when the transport does not
+	// overlap computation and communication — so a busy CPU stalls
+	// remote requests, the effect behind the paper's Field analysis —
+	// or a dedicated engine when it does. Overlapping transports get
+	// one dispatcher per handler context; non-overlapping ones a
+	// single dispatcher (GM progress is single-threaded polling).
+	contexts := 1
+	if m.Prof.CommOverlap && m.Prof.CommCapacity > 1 {
+		contexts = m.Prof.CommCapacity
+	}
+	for c := 0; c < contexts; c++ {
+		m.K.SpawnDaemon(fmt.Sprintf("node%d.amdisp%d", nd.ID, c), func(p *sim.Proc) {
+			for {
+				raw := port.AM.Pop(p)
+				msg := raw.(*Msg)
+				h := m.handlers[msg.Handler]
+				if h == nil {
+					panic(fmt.Sprintf("transport: node %d: no handler %d", nd.ID, msg.Handler))
+				}
+				nd.Comm.Acquire(p)
+				p.Sleep(m.Prof.RecvOverhead)
+				h(p, nd, msg)
+				nd.Comm.Release()
+			}
+		})
+	}
+	// The DMA dispatcher is the NIC's DMA engine: it services RDMA
+	// descriptors with no CPU involvement.
+	m.K.SpawnDaemon(fmt.Sprintf("node%d.dmadisp", nd.ID), func(p *sim.Proc) {
+		for {
+			raw := port.DMA.Pop(p)
+			switch op := raw.(type) {
+			case *dmaGet:
+				m.serveDMAGet(p, nd, op)
+			case *dmaPut:
+				m.serveDMAPut(p, nd, op)
+			case *dmaResp:
+				p.Sleep(m.Prof.RDMARecvCost)
+				op.done.Complete(op.val)
+			default:
+				panic(fmt.Sprintf("transport: node %d: bad DMA op %T", nd.ID, raw))
+			}
+		}
+	})
+}
+
+// SendAM injects an active message from node src toward dst, charging
+// the initiator's CPU send overhead and NIC injection. It returns once
+// the message is on the wire; delivery and handling are asynchronous.
+// extra widens the wire size beyond header+payload (piggybacked data).
+func (m *Machine) SendAM(p *sim.Proc, src, dst int, id HandlerID, meta any, payload []byte, extra int) {
+	if src == dst {
+		panic("transport: AM to self; intra-node traffic must use shared memory")
+	}
+	m.amCount++
+	msg := &Msg{Src: src, Dst: dst, Handler: id, Meta: meta, Payload: payload,
+		wire: m.Prof.AMHeaderBytes + len(payload) + extra}
+	p.Sleep(m.Prof.SendOverhead)
+	tx := m.Fab.Port(src).TX
+	tx.Acquire(p)
+	m.Fab.Inject(p, src, dst, msg.wire, fabric.ClassAM, msg)
+	tx.Release()
+}
+
+// ReplyAM is SendAM for use inside handlers (identical mechanics; the
+// dispatcher is the sending process and keeps holding Comm, so on
+// non-overlapping transports reply construction occupies the CPU).
+func (m *Machine) ReplyAM(p *sim.Proc, src, dst int, id HandlerID, meta any, payload []byte, extra int) {
+	m.SendAM(p, src, dst, id, meta, payload, extra)
+}

@@ -1,0 +1,279 @@
+// Package transport models the two messaging substrates of the paper
+// on top of the simulated fabric: Myrinet/GM as installed on
+// MareNostrum, and LAPI over the IBM HPS switch of the Power5 cluster.
+//
+// It provides the node abstraction (memory, pinned address table, CPU
+// and communication processors, NIC dispatchers), one-sided active
+// messages with header handlers (LAPI_Amsend-style), and RDMA GET/PUT
+// that move data with no target-CPU involvement. Upper layers (the UPC
+// runtime in internal/core) register AM handlers and compose these
+// primitives into the paper's protocols.
+package transport
+
+import (
+	"xlupc/internal/fabric"
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+)
+
+// Profile is the calibrated cost model of one platform. All times are
+// virtual; the values are calibrated so that the published qualitative
+// behaviour emerges (see DESIGN.md §6), not to match the original
+// testbeds cycle for cycle.
+type Profile struct {
+	Name string
+
+	// Wire and topology.
+	Wire    fabric.WireModel
+	NewTopo func(nodes int) fabric.Topology
+
+	// Node shape.
+	Cores          int  // compute cores per node
+	ThreadsPerNode int  // default UPC threads per node in hybrid mode
+	CommOverlap    bool // true: AM handlers run on a dedicated comm
+	// processor and overlap with computation (LAPI); false: they
+	// steal compute CPU (GM, paper §4.6 Field analysis).
+	CommCapacity int // parallel AM handler contexts of the dedicated
+	// comm processor (LAPI's adapter threads); ignored when
+	// CommOverlap is false.
+
+	// Software costs.
+	SendOverhead    sim.Time // CPU time to build+inject a message
+	RecvOverhead    sim.Time // header-handler entry cost at the target
+	SVDLookupCost   sim.Time // handle → local address translation
+	CacheLookupCost sim.Time // remote address cache probe
+	CacheInsertCost sim.Time // remote address cache fill
+	CopyByteTime    sim.Time // memcpy cost (bounce buffers), ps/byte
+	ShmLatency      sim.Time // intra-node shared-memory access latency
+	ShmByteTime     sim.Time // intra-node copy, ps/byte
+
+	// Message framing.
+	AMHeaderBytes int // wire overhead of an active message
+	AckBytes      int // wire size of an ACK
+	RDMADescBytes int // wire size of an RDMA descriptor
+
+	// RDMA engine.
+	RDMASetup        sim.Time // initiator descriptor-build cost
+	RDMATargetCost   sim.Time // target NIC service cost per op
+	RDMARecvCost     sim.Time // initiator NIC completion cost
+	RDMAExtraLatency sim.Time // extra latency of RDMA mode (HPS trait)
+
+	// Protocol switch: messages up to EagerMax bytes go eagerly
+	// (copied through bounce buffers); larger ones use rendezvous
+	// with zero-copy.
+	EagerMax int
+
+	// Memory registration.
+	Reg       mem.CostModel
+	PinPolicy mem.PinPolicy
+
+	// PutCacheEnabled reflects the paper's decision to disable the
+	// address cache for PUT operations on LAPI (§4.3).
+	PutCacheEnabled bool
+
+	// SupportsRDMA marks transports with one-sided hardware. The
+	// XLUPC runtime also runs over transports without it (BlueGene/L
+	// messaging, TCP sockets — paper §2); there the remote address
+	// cache buys nothing and the runtime leaves it off, which is the
+	// portability property the paper claims the design preserves.
+	SupportsRDMA bool
+}
+
+// GM returns the Myrinet/GM profile (MareNostrum, paper §4.1/§3.3).
+//
+// Calibration anchors: ~250 MB/s rated bandwidth, small-message
+// roundtrips in the 4–8 µs range, AM handlers executing on the compute
+// CPU, registration required for all transfers with expensive
+// deregistration, 1 GB of DMAable memory.
+func GM() *Profile {
+	return &Profile{
+		Name: "gm",
+		Wire: fabric.WireModel{
+			BaseLatency: 1400 * sim.Ns,
+			HopLatency:  300 * sim.Ns,
+			ByteTime:    sim.PerByte(250), // 4 ns/B ≈ 250 MB/s
+		},
+		NewTopo:        func(nodes int) fabric.Topology { return fabric.DefaultCrossbar3(nodes) },
+		Cores:          4, // JS21: two dual-core PPC 970-MP
+		ThreadsPerNode: 4,
+		CommOverlap:    false,
+
+		SendOverhead:    500 * sim.Ns,
+		RecvOverhead:    1100 * sim.Ns,
+		SVDLookupCost:   800 * sim.Ns,
+		CacheLookupCost: 30 * sim.Ns,
+		CacheInsertCost: 40 * sim.Ns,
+		CopyByteTime:    1500 * sim.Ps, // ~0.65 GB/s memcpy
+		ShmLatency:      200 * sim.Ns,
+		ShmByteTime:     400 * sim.Ps,
+
+		AMHeaderBytes: 64,
+		AckBytes:      32,
+		RDMADescBytes: 32,
+
+		RDMASetup:        600 * sim.Ns,
+		RDMATargetCost:   500 * sim.Ns,
+		RDMARecvCost:     300 * sim.Ns,
+		RDMAExtraLatency: 0,
+
+		EagerMax: 16 << 10,
+
+		Reg: mem.CostModel{
+			RegBase:      10 * sim.Us,
+			RegPerPage:   250 * sim.Ns,
+			DeregBase:    25 * sim.Us,
+			DeregPerPage: 400 * sim.Ns,
+			MaxTotal:     1 << 30, // 1 GB DMAable memory (§3.3)
+		},
+		PinPolicy:       mem.PinAll,
+		PutCacheEnabled: true,
+		SupportsRDMA:    true,
+	}
+}
+
+// LAPI returns the LAPI/HPS profile (Power5 cluster, paper §4.2/§3.2).
+//
+// Calibration anchors: ~8× the Myrinet bandwidth, a flat federation
+// switch, AM handlers overlapping with computation, RDMA mode with
+// "excellent throughput … at the cost of higher latency", and a 32 MB
+// per-handle registration limit.
+func LAPI() *Profile {
+	return &Profile{
+		Name: "lapi",
+		Wire: fabric.WireModel{
+			BaseLatency: 2000 * sim.Ns,
+			HopLatency:  150 * sim.Ns,
+			ByteTime:    sim.PerByte(2000), // 0.5 ns/B ≈ 2 GB/s
+		},
+		NewTopo:        func(nodes int) fabric.Topology { return fabric.NewFlat(nodes, 2) },
+		Cores:          16, // 8 × 2-way SMT Power5
+		ThreadsPerNode: 16,
+		CommOverlap:    true,
+		CommCapacity:   4,
+
+		SendOverhead:    600 * sim.Ns,
+		RecvOverhead:    1100 * sim.Ns,
+		SVDLookupCost:   1000 * sim.Ns,
+		CacheLookupCost: 30 * sim.Ns,
+		CacheInsertCost: 40 * sim.Ns,
+		CopyByteTime:    150 * sim.Ps, // ~6.6 GB/s streaming memcpy
+		ShmLatency:      150 * sim.Ns,
+		ShmByteTime:     100 * sim.Ps,
+
+		AMHeaderBytes: 64,
+		AckBytes:      32,
+		RDMADescBytes: 32,
+
+		RDMASetup:        500 * sim.Ns,
+		RDMATargetCost:   400 * sim.Ns,
+		RDMARecvCost:     300 * sim.Ns,
+		RDMAExtraLatency: 1500 * sim.Ns,
+
+		EagerMax: 1 << 20,
+
+		Reg: mem.CostModel{
+			RegBase:      8 * sim.Us,
+			RegPerPage:   200 * sim.Ns,
+			DeregBase:    16 * sim.Us,
+			DeregPerPage: 300 * sim.Ns,
+			MaxPerObject: 32 << 20, // 32 MB registration handle (§3.2)
+		},
+		PinPolicy:       mem.PinAll,
+		PutCacheEnabled: false, // §4.3: cache disabled for PUT on LAPI
+		SupportsRDMA:    true,
+	}
+}
+
+// BGL returns a BlueGene/L-style profile: a 3-D torus of small nodes
+// with low per-hop latency but no RDMA engine — the machine the SVD
+// design scaled to hundreds of thousands of threads on ([8]), and a
+// control showing the runtime stays correct and portable where the
+// address cache cannot help.
+func BGL() *Profile {
+	return &Profile{
+		Name: "bgl",
+		Wire: fabric.WireModel{
+			BaseLatency: 1000 * sim.Ns,
+			HopLatency:  100 * sim.Ns, // torus routes are many-hop
+			ByteTime:    sim.PerByte(150),
+		},
+		NewTopo:        func(nodes int) fabric.Topology { return fabric.DefaultTorus3D(nodes) },
+		Cores:          2, // two PPC440 cores
+		ThreadsPerNode: 2,
+		CommOverlap:    false,
+
+		SendOverhead:    400 * sim.Ns,
+		RecvOverhead:    800 * sim.Ns,
+		SVDLookupCost:   900 * sim.Ns,
+		CacheLookupCost: 30 * sim.Ns,
+		CacheInsertCost: 40 * sim.Ns,
+		CopyByteTime:    1000 * sim.Ps,
+		ShmLatency:      150 * sim.Ns,
+		ShmByteTime:     400 * sim.Ps,
+
+		AMHeaderBytes: 32,
+		AckBytes:      16,
+		RDMADescBytes: 32,
+
+		EagerMax: 8 << 10,
+
+		Reg:             mem.CostModel{}, // no registration needed: no RDMA
+		PinPolicy:       mem.PinAll,
+		PutCacheEnabled: false,
+		SupportsRDMA:    false,
+	}
+}
+
+// TCP returns a commodity sockets profile (the runtime's lowest common
+// denominator transport): high software latency, kernel copies, no
+// RDMA.
+func TCP() *Profile {
+	return &Profile{
+		Name: "tcp",
+		Wire: fabric.WireModel{
+			BaseLatency: 25 * sim.Us,
+			HopLatency:  1 * sim.Us,
+			ByteTime:    sim.PerByte(110), // ~gigabit ethernet
+		},
+		NewTopo:        func(nodes int) fabric.Topology { return fabric.NewFlat(nodes, 2) },
+		Cores:          4,
+		ThreadsPerNode: 4,
+		CommOverlap:    true, // the kernel moves bytes concurrently
+		CommCapacity:   2,
+
+		SendOverhead:    4 * sim.Us, // syscall + TCP stack
+		RecvOverhead:    6 * sim.Us,
+		SVDLookupCost:   800 * sim.Ns,
+		CacheLookupCost: 30 * sim.Ns,
+		CacheInsertCost: 40 * sim.Ns,
+		CopyByteTime:    800 * sim.Ps,
+		ShmLatency:      200 * sim.Ns,
+		ShmByteTime:     400 * sim.Ps,
+
+		AMHeaderBytes: 96,
+		AckBytes:      64,
+		RDMADescBytes: 32,
+
+		EagerMax: 64 << 10,
+
+		Reg:             mem.CostModel{},
+		PinPolicy:       mem.PinAll,
+		PutCacheEnabled: false,
+		SupportsRDMA:    false,
+	}
+}
+
+// ByName resolves a profile by its name.
+func ByName(name string) *Profile {
+	switch name {
+	case "gm":
+		return GM()
+	case "lapi":
+		return LAPI()
+	case "bgl":
+		return BGL()
+	case "tcp":
+		return TCP()
+	}
+	return nil
+}

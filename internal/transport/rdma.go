@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"fmt"
+
+	"xlupc/internal/fabric"
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+)
+
+// dmaGet is an RDMA read descriptor serviced by the target's DMA
+// engine: fetch size bytes at raddr and stream them back, no CPU.
+type dmaGet struct {
+	initiator int
+	base      mem.Addr // pinned-region base, for the pin-table LRU
+	raddr     mem.Addr
+	size      int
+	done      *sim.Completion // completes at the initiator with []byte
+}
+
+// dmaPut is an RDMA write descriptor: the payload travelled with the
+// descriptor; the target engine deposits it at raddr.
+type dmaPut struct {
+	initiator int
+	base      mem.Addr
+	raddr     mem.Addr
+	data      []byte
+	done      *sim.Completion // completes when the data is in target memory
+}
+
+// dmaResp carries an RDMA completion back to the initiator NIC.
+type dmaResp struct {
+	done *sim.Completion
+	val  any
+}
+
+// Nack is the completion value of an RDMA operation that reached a
+// deregistered (evicted) target region under the limited-pinning
+// policy. The initiator must drop its stale cache entry and fall back
+// to the active-message path. Under pin-everything a live cache entry
+// always implies a pinned region, so a missing registration is a
+// protocol bug and panics instead.
+type Nack struct{}
+
+// RDMAGet performs a one-sided read of size bytes at raddr in dst's
+// memory, blocking the calling process until the data arrives. ok is
+// false when the target region had been deregistered (limited-pinning
+// NACK); the caller must invalidate and fall back.
+func (m *Machine) RDMAGet(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int) (data []byte, ok bool) {
+	m.rdmaCount++
+	done := sim.NewCompletion(m.K, "rdma-get")
+	p.Sleep(m.Prof.RDMASetup)
+	tx := m.Fab.Port(src).TX
+	tx.Acquire(p)
+	m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA,
+		&dmaGet{initiator: src, base: base, raddr: raddr, size: size, done: done})
+	tx.Release()
+	p.Wait(done)
+	// RDMA mode adds latency (the HPS trait) without occupying any
+	// engine: charge it to the initiator's roundtrip.
+	p.Sleep(m.Prof.RDMAExtraLatency)
+	if _, nack := done.Value().(Nack); nack {
+		return nil, false
+	}
+	return done.Value().([]byte), true
+}
+
+// RDMAPut performs a one-sided write of data to raddr in dst's memory.
+// It blocks the caller until the origin buffer is reusable — injection
+// plus the transport's RDMA-mode completion latency (the HPS trait
+// that makes small cached PUTs a net loss on LAPI) — and returns a
+// completion that fires when the data is globally visible in target
+// memory, which fences wait on.
+func (m *Machine) RDMAPut(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte) *sim.Completion {
+	m.rdmaCount++
+	done := sim.NewCompletion(m.K, "rdma-put")
+	p.Sleep(m.Prof.RDMASetup)
+	tx := m.Fab.Port(src).TX
+	tx.Acquire(p)
+	m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA,
+		&dmaPut{initiator: src, base: base, raddr: raddr, data: data, done: done})
+	tx.Release()
+	p.Sleep(m.Prof.RDMAExtraLatency) // hardware completion of the origin side
+	return done
+}
+
+func (m *Machine) serveDMAGet(p *sim.Proc, nd *Node, op *dmaGet) {
+	p.Sleep(m.Prof.RDMATargetCost)
+	if !nd.Pins.TouchOK(op.base, p.Now()) {
+		m.nackOrPanic(p, nd, op.initiator, op.base, op.done)
+		return
+	}
+	data := nd.Mem.ReadAlloc(op.raddr, op.size)
+	tx := m.Fab.Port(nd.ID).TX
+	tx.Acquire(p)
+	m.Fab.Inject(p, nd.ID, op.initiator, m.Prof.RDMADescBytes+op.size, fabric.ClassDMA,
+		&dmaResp{done: op.done, val: data})
+	tx.Release()
+}
+
+// nackOrPanic handles an RDMA touch of unregistered memory: a NACK
+// under limited pinning, a crash under pin-everything (where it can
+// only be a runtime bug).
+func (m *Machine) nackOrPanic(p *sim.Proc, nd *Node, initiator int, base mem.Addr, done *sim.Completion) {
+	if nd.Pins.Policy() != mem.PinLimited {
+		panic(fmt.Sprintf("transport: node %d: RDMA access to unpinned region %#x under pin-all", nd.ID, base))
+	}
+	tx := m.Fab.Port(nd.ID).TX
+	tx.Acquire(p)
+	m.Fab.Inject(p, nd.ID, initiator, m.Prof.RDMADescBytes, fabric.ClassDMA,
+		&dmaResp{done: done, val: Nack{}})
+	tx.Release()
+}
+
+func (m *Machine) serveDMAPut(p *sim.Proc, nd *Node, op *dmaPut) {
+	p.Sleep(m.Prof.RDMATargetCost)
+	if !nd.Pins.TouchOK(op.base, p.Now()) {
+		if nd.Pins.Policy() != mem.PinLimited {
+			panic(fmt.Sprintf("transport: node %d: RDMA write to unpinned region %#x under pin-all", nd.ID, op.base))
+		}
+		op.done.Complete(Nack{})
+		return
+	}
+	nd.Mem.Write(op.raddr, op.data)
+	op.done.Complete(nil)
+}
