@@ -85,4 +85,8 @@ func main() {
 	section("Field analysis (§4.6)",
 		"without the cache, remote access times at the overhangs are abnormally large on GM; RDMA removes the target CPU from the path")
 	bench.PrintFieldTrace(w, *seed)
+
+	section("Phase attribution (§4.6, telemetry)",
+		"the abnormal GM access times are target-CPU time: AM handlers stall behind the busy compute CPU; LAPI's dedicated comm processor absorbs them")
+	bench.PrintPhaseBreakdown(w, *seed)
 }

@@ -1,0 +1,98 @@
+// Command xlupc-top answers the paper's §4.6 question — where does a
+// remote access's time actually go? — with the telemetry layer's
+// per-operation spans instead of a Paraver trace. It runs one DIS
+// stressmark with and without the remote address cache and prints, per
+// operation kind, a phase-attribution table: how much virtual time went
+// to cache probes, wire, waiting for the target CPU, AM handling, SVD
+// resolution, registration, copies and DMA service.
+//
+// On GM (no computation/communication overlap) the uncached run's GETs
+// are dominated by target-CPU/handler time: the target nodes are busy
+// computing and the AM handlers queue for the CPU. On LAPI the
+// dedicated communication processor absorbs that component.
+//
+// Usage:
+//
+//	xlupc-top -bench=field -profile=gm
+//	xlupc-top -bench=pointer -profile=lapi -threads 32 -nodes 8
+//	xlupc-top -bench=field -chrome trace.json -prom metrics.prom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"xlupc/internal/bench"
+	"xlupc/internal/core"
+	"xlupc/internal/telemetry"
+	"xlupc/internal/transport"
+)
+
+func main() {
+	mark := flag.String("bench", "field", "DIS stressmark to profile")
+	profName := flag.String("profile", "gm", "transport profile (gm, lapi, bgl, tcp)")
+	threads := flag.Int("threads", 16, "UPC threads")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	chrome := flag.String("chrome", "", "write the cached run's spans as Chrome trace-event JSON to this file")
+	prom := flag.String("prom", "", "write the cached run's metrics in Prometheus text format to this file")
+	flag.Parse()
+
+	prof := transport.ByName(*profName)
+	if prof == nil {
+		fmt.Fprintf(os.Stderr, "xlupc-top: unknown profile %q\n", *profName)
+		os.Exit(2)
+	}
+	sc := bench.Scale{Threads: *threads, Nodes: *nodes}
+
+	fmt.Printf("# %s on %s, %d threads / %d nodes — phase attribution of operation time\n",
+		*mark, prof.Name, *threads, *nodes)
+
+	var cachedTel *telemetry.Telemetry
+	for _, cached := range []bool{false, true} {
+		cc, label := core.NoCache(), "without cache"
+		if cached {
+			cc, label = core.DefaultCache(), "with cache"
+		}
+		tel, st, err := bench.PhaseRun(*mark, prof, sc, cc, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cached {
+			cachedTel = tel
+		}
+		fmt.Printf("\n%s  (virtual time %v, %d msgs, %d AM, %d RDMA, cache hit rate %.1f%%)\n",
+			label, st.Elapsed, st.Messages, st.AMOps, st.RDMAOps, 100*st.Cache.HitRate())
+		if err := bench.PrintPhaseTables(os.Stdout, tel, "get", "put", "barrier"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *chrome != "" {
+		writeExport(*chrome, cachedTel.WriteChromeTrace)
+		fmt.Printf("\nChrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+	}
+	if *prom != "" {
+		writeExport(*prom, cachedTel.WritePrometheus)
+		fmt.Printf("Prometheus metrics written to %s\n", *prom)
+	}
+}
+
+// writeExport writes one exporter's output to path, surfacing write
+// and close errors instead of dropping them.
+func writeExport(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+}

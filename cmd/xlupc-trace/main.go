@@ -92,9 +92,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		// A full disk surfaces as a write error here or as a close
+		// error below; neither may be dropped or the trace file is
+		// silently truncated.
 		if err := traces[1].WritePRV(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			log.Fatalf("writing %s: %v", *prv, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing %s: %v", *prv, err)
 		}
 		fmt.Printf("trace records written to %s\n", *prv)
 	}

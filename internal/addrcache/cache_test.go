@@ -245,3 +245,15 @@ func TestPropertyLRUMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHitRateZeroLookups(t *testing.T) {
+	// A fresh cache has no lookups; HitRate must guard the division.
+	c := New(4, LRU, 1)
+	if r := c.Stats().HitRate(); r != 0 {
+		t.Fatalf("HitRate with zero lookups = %v, want 0", r)
+	}
+	var s Stats
+	if s.HitRate() != 0 || s.Lookups() != 0 {
+		t.Fatal("zero Stats must report zero rate and lookups")
+	}
+}

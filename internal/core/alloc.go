@@ -67,6 +67,8 @@ func (t *Thread) AllAlloc(name string, numElems int64, elemSize int, block int64
 	if numElems <= 0 || elemSize <= 0 {
 		panic(fmt.Sprintf("core: AllAlloc(%s) with nonpositive size", name))
 	}
+	span := t.rt.tel.StartSpan("alloc", t.id, t.ns.id, t.p.Now())
+	span.SetProto("collective")
 	t.Barrier()
 	ns := t.ns
 	if t.isNodeRep() {
@@ -79,6 +81,7 @@ func (t *Thread) AllAlloc(name string, numElems int64, elemSize int, block int64
 	}
 	t.Barrier()
 	a := ns.collective.(*SharedArray)
+	span.Finish(t.p.Now())
 	return a
 }
 
@@ -92,6 +95,9 @@ func (t *Thread) GlobalAlloc(name string, numElems int64, elemSize int, block in
 	if numElems <= 0 || elemSize <= 0 {
 		panic(fmt.Sprintf("core: GlobalAlloc(%s) with nonpositive size", name))
 	}
+	span := t.rt.tel.StartSpan("alloc", t.id, t.ns.id, t.p.Now())
+	span.SetProto("global")
+	defer func() { span.Finish(t.p.Now()) }()
 	l := t.rt.layout(elemSize, block, numElems)
 	h := svd.Handle{Part: int32(t.id), Index: t.ns.dir.NextIndex(int32(t.id))}
 	t.Compute(allocCPUCost)
@@ -114,6 +120,9 @@ func (t *Thread) LocalAlloc(name string, numElems int64, elemSize int) *SharedAr
 	if numElems <= 0 || elemSize <= 0 {
 		panic(fmt.Sprintf("core: LocalAlloc(%s) with nonpositive size", name))
 	}
+	span := t.rt.tel.StartSpan("alloc", t.id, t.ns.id, t.p.Now())
+	span.SetProto("local")
+	defer func() { span.Finish(t.p.Now()) }()
 	l := t.rt.layout(elemSize, numElems, numElems)
 	l.Home = t.id
 	h := svd.Handle{Part: int32(t.id), Index: t.ns.dir.NextIndex(int32(t.id))}
@@ -143,6 +152,8 @@ func (rt *Runtime) layout(elemSize int, block, numElems int64) Layout {
 // to the object first (fence + barrier), as UPC requires.
 func (t *Thread) Free(a *SharedArray) {
 	t.Fence()
+	span := t.rt.tel.StartSpan("free", t.id, t.ns.id, t.p.Now())
+	defer func() { span.Finish(t.p.Now()) }()
 	acks := sim.NewCounter(t.rt.K, "free-acks", t.rt.cfg.Nodes-1)
 	req := &freeReq{H: a.h, Acks: acks}
 	for n := 0; n < t.rt.cfg.Nodes; n++ {

@@ -70,8 +70,12 @@ const localBarrierCost = 150 * sim.Ns
 // disseminates across nodes.
 func (t *Thread) Barrier() {
 	t.Fence()
+	span := t.rt.tel.StartSpan("barrier", t.id, t.ns.id, t.p.Now())
 	t.rt.cfg.Trace.Begin(t.id, trace.StateBarrier, t.p.Now())
-	defer func() { t.rt.cfg.Trace.End(t.id, t.p.Now()) }()
+	defer func() {
+		t.rt.cfg.Trace.End(t.id, t.p.Now())
+		span.Finish(t.p.Now())
+	}()
 	nb := t.ns.barrier
 	tpn := t.rt.cfg.ThreadsPerNode()
 	t.p.Sleep(localBarrierCost)

@@ -12,6 +12,7 @@ import (
 
 	"xlupc/internal/addrcache"
 	"xlupc/internal/mem"
+	"xlupc/internal/telemetry"
 	"xlupc/internal/trace"
 	"xlupc/internal/transport"
 )
@@ -74,6 +75,12 @@ type Config struct {
 	// intervals (compute, get-wait, barrier, ...) — the tooling behind
 	// the paper's §4.6 Field analysis. Tracing costs no virtual time.
 	Trace *trace.Trace
+	// Telemetry, when non-nil, receives metrics and per-operation spans
+	// from every layer of the run: protocol choices, phase timings,
+	// cache/pin/resource statistics. Like Trace it costs no virtual
+	// time — a run with telemetry finishes at the identical virtual
+	// instant as one without.
+	Telemetry *telemetry.Telemetry
 	// Pin, when non-nil, overrides the profile's pinning policy and
 	// registration limits — the knob behind the pin-everything vs
 	// limited-pinning ablation (paper §3.1 and [10]).

@@ -7,6 +7,7 @@ import (
 	"xlupc/internal/mem"
 	"xlupc/internal/sim"
 	"xlupc/internal/svd"
+	"xlupc/internal/telemetry"
 	"xlupc/internal/trace"
 	"xlupc/internal/transport"
 )
@@ -102,33 +103,43 @@ func (ns *nodeState) pinChunk(p *sim.Proc, cb *svd.ControlBlock) mem.Addr {
 func (rt *Runtime) handleGetReq(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*getReq)
+	t0 := p.Now()
 	cb, requeued := ns.resolve(p, m.H, msg)
 	if requeued {
 		return
 	}
+	msg.Span.Phase(telemetry.PhaseSVDResolve, t0, p.Now())
 	var base mem.Addr
 	if m.WantAddr {
+		t0 = p.Now()
 		base = ns.pinChunk(p, cb)
+		msg.Span.Phase(telemetry.PhaseRegistration, t0, p.Now())
 	}
 	// Eager reply: the data is copied into a (pre-registered) bounce
 	// buffer before injection — the copy cost that RDMA avoids.
+	t0 = p.Now()
 	p.Sleep(sim.BytesTime(m.Size, rt.cfg.Profile.CopyByteTime))
+	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
 	data := n.Mem.ReadAlloc(cb.LocalBase+mem.Addr(m.Off), m.Size)
 	extra := 0
 	if base != 0 {
 		extra = piggybackBytes
 	}
-	rt.M.ReplyAM(p, n.ID, msg.Src, hGetRep, &getRep{H: m.H, Base: base, Done: m.Done}, data, extra)
+	rt.M.ReplyAMSpan(p, n.ID, msg.Src, hGetRep, &getRep{H: m.H, Base: base, Done: m.Done}, data, extra, msg.Span)
 }
 
 func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*getRep)
 	// Copy out of the receive bounce buffer.
+	t0 := p.Now()
 	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
+	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
 	if m.Base != 0 && ns.cache != nil {
+		t0 = p.Now()
 		p.Sleep(rt.cfg.Profile.CacheInsertCost)
 		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
+		msg.Span.Phase(telemetry.PhaseCacheInsert, t0, p.Now())
 	}
 	m.Done.Complete(msg.Payload)
 }
@@ -136,30 +147,38 @@ func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.M
 func (rt *Runtime) handlePutReq(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*putReq)
+	t0 := p.Now()
 	cb, requeued := ns.resolve(p, m.H, msg)
 	if requeued {
 		return
 	}
+	msg.Span.Phase(telemetry.PhaseSVDResolve, t0, p.Now())
 	var base mem.Addr
 	if m.WantAddr {
+		t0 = p.Now()
 		base = ns.pinChunk(p, cb)
+		msg.Span.Phase(telemetry.PhaseRegistration, t0, p.Now())
 	}
 	// Copy from the receive bounce buffer into place.
+	t0 = p.Now()
 	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
+	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
 	n.Mem.Write(cb.LocalBase+mem.Addr(m.Off), msg.Payload)
 	extra := 0
 	if base != 0 {
 		extra = piggybackBytes
 	}
-	rt.M.ReplyAM(p, n.ID, msg.Src, hPutAck, &putAck{H: m.H, Base: base, Fence: m.Fence}, nil, extra)
+	rt.M.ReplyAMSpan(p, n.ID, msg.Src, hPutAck, &putAck{H: m.H, Base: base, Fence: m.Fence}, nil, extra, msg.Span)
 }
 
 func (rt *Runtime) handlePutAck(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*putAck)
 	if m.Base != 0 && ns.cache != nil {
+		t0 := p.Now()
 		p.Sleep(rt.cfg.Profile.CacheInsertCost)
 		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
+		msg.Span.Phase(telemetry.PhaseCacheInsert, t0, p.Now())
 	}
 	m.Fence.Arrive()
 }
@@ -167,21 +186,27 @@ func (rt *Runtime) handlePutAck(p *sim.Proc, n *transport.Node, msg *transport.M
 func (rt *Runtime) handleRTS(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*rts)
+	t0 := p.Now()
 	cb, requeued := ns.resolve(p, m.H, msg)
 	if requeued {
 		return
 	}
+	msg.Span.Phase(telemetry.PhaseSVDResolve, t0, p.Now())
+	t0 = p.Now()
 	base := ns.pinChunk(p, cb) // rendezvous always registers
-	rt.M.ReplyAM(p, n.ID, msg.Src, hRTR,
-		&rtr{H: m.H, Base: base, OK: base != 0, Done: m.Done}, nil, piggybackBytes)
+	msg.Span.Phase(telemetry.PhaseRegistration, t0, p.Now())
+	rt.M.ReplyAMSpan(p, n.ID, msg.Src, hRTR,
+		&rtr{H: m.H, Base: base, OK: base != 0, Done: m.Done}, nil, piggybackBytes, msg.Span)
 }
 
 func (rt *Runtime) handleRTR(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*rtr)
 	if m.OK && ns.cache != nil {
+		t0 := p.Now()
 		p.Sleep(rt.cfg.Profile.CacheInsertCost)
 		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
+		msg.Span.Phase(telemetry.PhaseCacheInsert, t0, p.Now())
 	}
 	m.Done.Complete(rtrResult{base: m.Base, ok: m.OK})
 }
@@ -199,25 +224,35 @@ func (t *Thread) getRun(a *SharedArray, idx int64, dst []byte) {
 	if rn == t.ns.id {
 		// Intra-node: shared memory, no network.
 		cb := t.localCB(a)
+		span := t.rt.tel.StartSpan("get", t.id, t.ns.id, start)
+		span.SetProto("local")
+		span.SetBytes(size)
 		t.p.Sleep(prof.ShmLatency + sim.BytesTime(size, prof.ShmByteTime))
 		t.ns.tn.Mem.Read(dst, cb.LocalBase+mem.Addr(a.l.ChunkOffset(idx)))
+		span.Finish(t.p.Now())
 		t.localGets++
 		return
 	}
 
 	off := a.l.ChunkOffset(idx)
+	span := t.rt.tel.StartSpan("get", t.id, t.ns.id, start)
+	span.SetBytes(size)
 	t.rt.cfg.Trace.Begin(t.id, trace.StateGetWait, start)
 	defer func() {
 		t.rt.cfg.Trace.End(t.id, t.p.Now())
+		span.Finish(t.p.Now())
 		t.gets++
 		t.getTime += t.p.Now() - start
 	}()
 
 	if t.ns.cache != nil {
+		t0 := t.p.Now()
 		t.p.Sleep(prof.CacheLookupCost)
+		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
 		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
 			// RDMA fast path: final remote address computed locally.
-			data, ok := t.rt.M.RDMAGet(t.p, t.ns.id, rn, base, base+mem.Addr(off), size)
+			span.SetProto("rdma")
+			data, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), size, span)
 			if ok {
 				copy(dst, data)
 				return
@@ -226,42 +261,49 @@ func (t *Thread) getRun(a *SharedArray, idx int64, dst []byte) {
 			// drop the stale entry and fall through to the slow path,
 			// which will repin and repopulate.
 			t.ns.cache.Remove(cacheKey(a.h, rn))
+			t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
 		}
 	}
 	if size <= prof.EagerMax || !prof.SupportsRDMA {
 		// Eager always; transports without one-sided hardware stream
 		// large transfers through the copy path too.
-		t.eagerGet(a, rn, off, dst)
+		span.SetProto("eager")
+		t.eagerGet(a, rn, off, dst, span)
 		return
 	}
 	// Rendezvous: fetch the remote base address, then zero-copy RDMA.
-	res := t.rendezvous(a, rn, size)
+	span.SetProto("rendezvous")
+	res := t.rendezvous(a, rn, size, span)
 	if !res.ok {
-		t.eagerGet(a, rn, off, dst) // registration refused: copy path
+		span.SetProto("eager")
+		t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="pin_refused"`, 1)
+		t.eagerGet(a, rn, off, dst, span) // registration refused: copy path
 		return
 	}
-	data, ok := t.rt.M.RDMAGet(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), size)
+	data, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), size, span)
 	if !ok { // evicted between the RTR and the transfer
 		if t.ns.cache != nil {
 			t.ns.cache.Remove(cacheKey(a.h, rn))
 		}
-		t.eagerGet(a, rn, off, dst)
+		span.SetProto("eager")
+		t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
+		t.eagerGet(a, rn, off, dst, span)
 		return
 	}
 	copy(dst, data)
 }
 
-func (t *Thread) eagerGet(a *SharedArray, rn int, off int64, dst []byte) {
+func (t *Thread) eagerGet(a *SharedArray, rn int, off int64, dst []byte, span *telemetry.Span) {
 	done := sim.NewCompletion(t.rt.K, "get")
-	t.rt.M.SendAM(t.p, t.ns.id, rn, hGetReq,
-		&getReq{H: a.h, Off: off, Size: len(dst), WantAddr: t.ns.cache != nil, Done: done}, nil, 0)
+	t.rt.M.SendAMSpan(t.p, t.ns.id, rn, hGetReq,
+		&getReq{H: a.h, Off: off, Size: len(dst), WantAddr: t.ns.cache != nil, Done: done}, nil, 0, span)
 	t.p.Wait(done)
 	copy(dst, done.Value().([]byte))
 }
 
-func (t *Thread) rendezvous(a *SharedArray, rn int, size int) rtrResult {
+func (t *Thread) rendezvous(a *SharedArray, rn int, size int, span *telemetry.Span) rtrResult {
 	done := sim.NewCompletion(t.rt.K, "rts")
-	t.rt.M.SendAM(t.p, t.ns.id, rn, hRTS, &rts{H: a.h, Size: size, Done: done}, nil, 0)
+	t.rt.M.SendAMSpan(t.p, t.ns.id, rn, hRTS, &rts{H: a.h, Size: size, Done: done}, nil, 0, span)
 	t.p.Wait(done)
 	return done.Value().(rtrResult)
 }
@@ -276,52 +318,73 @@ func (t *Thread) putRun(a *SharedArray, idx int64, src []byte) {
 
 	if rn == t.ns.id {
 		cb := t.localCB(a)
+		span := t.rt.tel.StartSpan("put", t.id, t.ns.id, start)
+		span.SetProto("local")
+		span.SetBytes(size)
 		t.p.Sleep(prof.ShmLatency + sim.BytesTime(size, prof.ShmByteTime))
 		t.ns.tn.Mem.Write(cb.LocalBase+mem.Addr(a.l.ChunkOffset(idx)), src)
+		span.Finish(t.p.Now())
 		t.localPuts++
 		return
 	}
 
 	off := a.l.ChunkOffset(idx)
+	// The PUT span ends at initiator-local completion — the time the
+	// thread is actually blocked; the in-flight ACK's target-side
+	// phases keep accumulating and still count in attribution.
+	span := t.rt.tel.StartSpan("put", t.id, t.ns.id, start)
+	span.SetBytes(size)
 	t.rt.cfg.Trace.Begin(t.id, trace.StatePut, start)
 	defer func() {
 		t.rt.cfg.Trace.End(t.id, t.p.Now())
+		span.Finish(t.p.Now())
 		t.puts++
 		t.putTime += t.p.Now() - start
 	}()
 
 	if t.ns.cache != nil && t.rt.putCache {
+		t0 := t.p.Now()
 		t.p.Sleep(prof.CacheLookupCost)
+		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
 		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+			span.SetProto("rdma")
 			data := append([]byte(nil), src...)
-			remote := t.rt.M.RDMAPut(t.p, t.ns.id, rn, base, base+mem.Addr(off), data)
+			remote := t.rt.M.RDMAPutSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), data, span)
 			t.fence.Add(1)
-			t.watchPut(remote, a, rn, off, data)
+			t.watchPut(remote, a, rn, off, data, span)
 			return
 		}
 	}
 	if size <= prof.EagerMax || !prof.SupportsRDMA {
 		// Copy into a pre-registered bounce buffer, then fire and forget.
+		span.SetProto("eager")
+		t0 := t.p.Now()
 		t.p.Sleep(sim.BytesTime(size, prof.CopyByteTime))
+		span.Phase(telemetry.PhaseCopy, t0, t.p.Now())
 		data := append([]byte(nil), src...)
 		t.fence.Add(1)
-		t.rt.M.SendAM(t.p, t.ns.id, rn, hPutReq,
-			&putReq{H: a.h, Off: off, WantAddr: t.ns.cache != nil, Fence: t.fence}, data, 0)
+		t.rt.M.SendAMSpan(t.p, t.ns.id, rn, hPutReq,
+			&putReq{H: a.h, Off: off, WantAddr: t.ns.cache != nil, Fence: t.fence}, data, 0, span)
 		return
 	}
-	res := t.rendezvous(a, rn, size)
+	span.SetProto("rendezvous")
+	res := t.rendezvous(a, rn, size, span)
 	if !res.ok {
+		span.SetProto("eager")
+		t.rt.tel.Add("xlupc_put_fallbacks_total", `reason="pin_refused"`, 1)
+		t0 := t.p.Now()
 		t.p.Sleep(sim.BytesTime(size, prof.CopyByteTime))
+		span.Phase(telemetry.PhaseCopy, t0, t.p.Now())
 		data := append([]byte(nil), src...)
 		t.fence.Add(1)
-		t.rt.M.SendAM(t.p, t.ns.id, rn, hPutReq,
-			&putReq{H: a.h, Off: off, WantAddr: false, Fence: t.fence}, data, 0)
+		t.rt.M.SendAMSpan(t.p, t.ns.id, rn, hPutReq,
+			&putReq{H: a.h, Off: off, WantAddr: false, Fence: t.fence}, data, 0, span)
 		return
 	}
 	data := append([]byte(nil), src...)
-	remote := t.rt.M.RDMAPut(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), data)
+	remote := t.rt.M.RDMAPutSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), data, span)
 	t.fence.Add(1)
-	t.watchPut(remote, a, rn, off, data)
+	t.watchPut(remote, a, rn, off, data, span)
 }
 
 // watchPut completes an asynchronous RDMA PUT under the thread's
@@ -330,7 +393,7 @@ func (t *Thread) putRun(a *SharedArray, idx int64, src []byte) {
 // the active-message path from a helper process; the fence does not
 // release until the retry's ACK lands, so fence semantics survive
 // eviction races.
-func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off int64, data []byte) {
+func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off int64, data []byte, span *telemetry.Span) {
 	f := t.fence
 	remote.Then(func(v any) {
 		if _, nack := v.(transport.Nack); !nack {
@@ -340,11 +403,12 @@ func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off in
 		if t.ns.cache != nil {
 			t.ns.cache.Remove(cacheKey(a.h, rn))
 		}
+		t.rt.tel.Add("xlupc_put_retries_total", `reason="nack"`, 1)
 		prof := t.rt.cfg.Profile
 		t.rt.K.Spawn(fmt.Sprintf("put-retry %d", t.id), func(p *sim.Proc) {
 			p.Sleep(sim.BytesTime(len(data), prof.CopyByteTime))
-			t.rt.M.SendAM(p, t.ns.id, rn, hPutReq,
-				&putReq{H: a.h, Off: off, WantAddr: false, Fence: f}, data, 0)
+			t.rt.M.SendAMSpan(p, t.ns.id, rn, hPutReq,
+				&putReq{H: a.h, Off: off, WantAddr: false, Fence: f}, data, 0, span)
 		})
 	})
 }

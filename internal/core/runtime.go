@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"xlupc/internal/addrcache"
 	"xlupc/internal/sim"
 	"xlupc/internal/svd"
+	"xlupc/internal/telemetry"
 	"xlupc/internal/transport"
 )
 
@@ -37,6 +39,7 @@ type Runtime struct {
 	cfg     Config
 	K       *sim.Kernel
 	M       *transport.Machine
+	tel     *telemetry.Telemetry // nil when telemetry is off
 	nodes   []*nodeState
 	threads []*Thread
 
@@ -72,7 +75,8 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	k := sim.NewKernel()
 	cfg.Profile = cfg.effectiveProfile()
 	m := transport.NewMachine(k, cfg.Profile, cfg.Nodes)
-	rt := &Runtime{cfg: cfg, K: k, M: m, putCache: cfg.putCacheEnabled()}
+	m.Tel = cfg.Telemetry
+	rt := &Runtime{cfg: cfg, K: k, M: m, tel: cfg.Telemetry, putCache: cfg.putCacheEnabled()}
 	rt.nodes = make([]*nodeState, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		ns := &nodeState{
@@ -153,7 +157,13 @@ type RunStats struct {
 	GetTime, PutTime     sim.Time
 
 	// Pinned address table usage.
-	PinnedPeak []int // per node high-water mark of pinned entries
+	PinnedPeak   []int    // per node high-water mark of pinned entries
+	Pins         int64    // registrations performed, all nodes
+	Unpins       int64    // explicit deregistrations
+	PinEvictions int64    // limited-pinning LRU deregistrations
+	RegTime      sim.Time // virtual time spent registering memory
+	DeregTime    sim.Time // virtual time spent deregistering memory
+	RDMANacks    int64    // RDMA operations NACKed by a deregistered target
 }
 
 func (rt *Runtime) stats() RunStats {
@@ -174,7 +184,13 @@ func (rt *Runtime) stats() RunStats {
 			st.Cache.Invalidations += cs.Invalidations
 		}
 		st.PinnedPeak = append(st.PinnedPeak, ns.tn.Pins.MaxLive)
+		st.Pins += ns.tn.Pins.Pins
+		st.Unpins += ns.tn.Pins.Unpins
+		st.PinEvictions += ns.tn.Pins.Evicted
+		st.RegTime += ns.tn.Pins.RegTime
+		st.DeregTime += ns.tn.Pins.DeregTime
 	}
+	st.RDMANacks = rt.M.NackCount()
 	for _, th := range rt.threads {
 		st.Gets += th.gets
 		st.Puts += th.puts
@@ -183,7 +199,73 @@ func (rt *Runtime) stats() RunStats {
 		st.GetTime += th.getTime
 		st.PutTime += th.putTime
 	}
+	rt.syncRegistry(st)
 	return st
+}
+
+// syncRegistry publishes the run's end-state — cache behaviour, pin
+// tables, resource utilization, queue depths, traffic totals — into the
+// telemetry registry, so exporters see the whole run without every
+// subsystem holding a registry reference during it. No-op when
+// telemetry is off.
+func (rt *Runtime) syncRegistry(st RunStats) {
+	tel := rt.tel
+	if tel == nil {
+		return
+	}
+	tel.Set("xlupc_run_elapsed_seconds", "", st.Elapsed.Secs())
+	tel.Add("xlupc_net_messages_total", "", st.Messages)
+	tel.Add("xlupc_net_bytes_total", "", st.NetBytes)
+	tel.Add("xlupc_am_ops_total", "", st.AMOps)
+	tel.Add("xlupc_rdma_ops_total", "", st.RDMAOps)
+	for _, ns := range rt.nodes {
+		node := `node="` + strconv.Itoa(ns.id) + `"`
+		if ns.cache != nil {
+			cs := ns.cache.Stats()
+			tel.Add("xlupc_addrcache_hits_total", node, cs.Hits)
+			tel.Add("xlupc_addrcache_misses_total", node, cs.Misses)
+			tel.Add("xlupc_addrcache_inserts_total", node, cs.Inserts)
+			tel.Add("xlupc_addrcache_evictions_total", node, cs.Evictions)
+			tel.Add("xlupc_addrcache_invalidations_total", node, cs.Invalidations)
+			tel.Set("xlupc_addrcache_hit_rate", node, cs.HitRate())
+			tel.Set("xlupc_addrcache_entries", node, float64(ns.cache.Len()))
+		}
+		pins := ns.tn.Pins
+		tel.Add("xlupc_pin_registrations_total", node, pins.Pins)
+		tel.Add("xlupc_pin_deregistrations_total", node, pins.Unpins)
+		tel.Add("xlupc_pin_evictions_total", node, pins.Evicted)
+		tel.Set("xlupc_pin_peak_entries", node, float64(pins.MaxLive))
+		tel.Set("xlupc_pin_reg_seconds", node, pins.RegTime.Secs())
+		tel.Set("xlupc_pin_dereg_seconds", node, pins.DeregTime.Secs())
+		// Resource utilization: the CPU pool, the AM-handler resource
+		// (the CPU itself on non-overlapping transports) and the NIC
+		// injection port. Busy and queue-wait integrals answer "which
+		// engine was the bottleneck".
+		resources := []*sim.Resource{ns.tn.CPU, rt.M.Fab.Port(ns.id).TX}
+		if ns.tn.Comm != ns.tn.CPU {
+			resources = append(resources, ns.tn.Comm)
+		}
+		for _, r := range resources {
+			labels := node + `,resource="` + r.Name() + `"`
+			rs := r.Stats()
+			tel.Add("xlupc_resource_acquires_total", labels, rs.Acquires)
+			tel.Set("xlupc_resource_busy_seconds", labels, rs.BusyTime.Secs())
+			tel.Set("xlupc_resource_wait_seconds", labels, rs.TotalWait.Secs())
+		}
+		port := rt.M.Fab.Port(ns.id)
+		for _, q := range []struct {
+			name string
+			p    int64
+			m    int
+		}{
+			{"am", port.AM.Pushes(), port.AM.MaxLen()},
+			{"dma", port.DMA.Pushes(), port.DMA.MaxLen()},
+		} {
+			labels := node + `,queue="` + q.name + `"`
+			tel.Add("xlupc_queue_pushes_total", labels, q.p)
+			tel.Set("xlupc_queue_max_depth", labels, float64(q.m))
+		}
+	}
 }
 
 func (rt *Runtime) registerHandlers() {

@@ -81,9 +81,11 @@ func (t *Thread) Fence() {
 	if t.fence.Pending() == 0 {
 		return
 	}
+	span := t.rt.tel.StartSpan("fence", t.id, t.ns.id, t.p.Now())
 	t.rt.cfg.Trace.Begin(t.id, trace.StateFenceWait, t.p.Now())
 	t.fence.Wait(t.p)
 	t.rt.cfg.Trace.End(t.id, t.p.Now())
+	span.Finish(t.p.Now())
 }
 
 // localCB resolves the thread's own node's control block for an array,

@@ -361,3 +361,50 @@ func TestPinTablePolicyAccessor(t *testing.T) {
 		t.Fatal("policy accessor wrong")
 	}
 }
+
+func TestPinTimeAccounting(t *testing.T) {
+	pt := NewPinTable(0, testModel(), PinAll)
+	c1, err := pt.Pin(0x1000, 2*PageSize, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.RegTime != c1 {
+		t.Fatalf("RegTime = %v, want %v", pt.RegTime, c1)
+	}
+	// Idempotent re-pin accrues nothing.
+	if _, err := pt.Pin(0x1000, 2*PageSize, 0, 5); err != nil || pt.RegTime != c1 {
+		t.Fatalf("re-pin changed RegTime to %v", pt.RegTime)
+	}
+	dc := pt.Unpin(0x1000)
+	if dc == 0 || pt.DeregTime != dc {
+		t.Fatalf("DeregTime = %v, want %v", pt.DeregTime, dc)
+	}
+	if pt.Unpin(0x1000) != 0 || pt.DeregTime != dc {
+		t.Fatalf("double unpin accrued time: %v", pt.DeregTime)
+	}
+}
+
+func TestPinLimitedEvictionTimeAccounting(t *testing.T) {
+	m := testModel()
+	m.MaxTotal = 2 * PageSize
+	pt := NewPinTable(0, m, PinLimited)
+	if _, err := pt.Pin(0x1000, PageSize, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Pin(0x2000, PageSize, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := pt.DeregTime
+	// Third pin evicts both LRU entries; their deregistration time must
+	// be accounted even though no explicit Unpin happened.
+	if _, err := pt.Pin(0x3000, 2*PageSize, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Evicted != 2 {
+		t.Fatalf("evicted = %d, want 2", pt.Evicted)
+	}
+	want := 2 * m.DeregCost(PageSize)
+	if pt.DeregTime-before != want {
+		t.Fatalf("eviction DeregTime = %v, want %v", pt.DeregTime-before, want)
+	}
+}

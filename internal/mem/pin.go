@@ -95,10 +95,12 @@ type PinTable struct {
 	seq     int64
 
 	// Counters.
-	Pins    int64
-	Unpins  int64
-	Evicted int64 // PinLimited-policy deregistrations
-	MaxLive int   // high-water mark of simultaneously pinned entries
+	Pins      int64
+	Unpins    int64
+	Evicted   int64    // PinLimited-policy deregistrations
+	MaxLive   int      // high-water mark of simultaneously pinned entries
+	RegTime   sim.Time // virtual time charged for registrations
+	DeregTime sim.Time // virtual time charged for deregistrations (incl. evictions)
 }
 
 // NewPinTable returns an empty pinned address table for node.
@@ -169,7 +171,9 @@ func (t *PinTable) Pin(base Addr, size int, tag uint64, now sim.Time) (sim.Time,
 			if victim == nil {
 				return 0, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds total DMAable memory even when empty", Limit: t.model.MaxTotal}
 			}
-			cost += t.model.DeregCost(victim.Size)
+			dc := t.model.DeregCost(victim.Size)
+			cost += dc
+			t.DeregTime += dc
 			t.total -= victim.Size
 			delete(t.entries, victim.Base)
 			t.Evicted++
@@ -182,7 +186,9 @@ func (t *PinTable) Pin(base Addr, size int, tag uint64, now sim.Time) (sim.Time,
 	if len(t.entries) > t.MaxLive {
 		t.MaxLive = len(t.entries)
 	}
-	return cost + t.model.RegCost(size), nil
+	rc := t.model.RegCost(size)
+	t.RegTime += rc
+	return cost + rc, nil
 }
 
 func (t *PinTable) lruVictim() *PinEntry {
@@ -207,5 +213,7 @@ func (t *PinTable) Unpin(base Addr) sim.Time {
 	delete(t.entries, base)
 	t.total -= e.Size
 	t.Unpins++
-	return t.model.DeregCost(e.Size)
+	dc := t.model.DeregCost(e.Size)
+	t.DeregTime += dc
+	return dc
 }

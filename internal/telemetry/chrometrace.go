@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"xlupc/internal/sim"
+)
+
+// usecs formats a virtual time as the trace-event microsecond unit,
+// keeping picosecond precision (Perfetto accepts fractional ts/dur).
+func usecs(t sim.Time) string {
+	return strconv.FormatFloat(float64(t)/1e6, 'f', 6, 64)
+}
+
+// chromeEvent is one duration ("X") event, pre-rendered except for
+// ordering. pid is the node, tid the thread track.
+type chromeEvent struct {
+	start sim.Time
+	seq   int
+	json  string
+}
+
+// WriteChromeTrace serializes the run's spans as Chrome trace-event
+// JSON, loadable in chrome://tracing and Perfetto. Every span becomes
+// a duration event on its initiating (node, thread) track, with its
+// phases emitted as nested duration events on the same track — so the
+// viewer shows, for each GET, exactly where its virtual time went.
+// Events are sorted by timestamp, as the format requires.
+func (t *Telemetry) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	nodes := make(map[int]bool)
+	threads := make(map[[2]int]bool)
+	if t != nil {
+		for i, s := range t.spans {
+			if s.End < s.Start {
+				continue // still open: no duration to draw
+			}
+			nodes[s.Node] = true
+			threads[[2]int{s.Node, s.Thread}] = true
+			name := s.Op
+			if s.Proto != "" {
+				name += "/" + s.Proto
+			}
+			events = append(events, chromeEvent{
+				start: s.Start,
+				seq:   i * (len(s.Phases) + 1),
+				json: fmt.Sprintf(`{"name":%s,"cat":"op","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"bytes":%d}}`,
+					strconv.Quote(name), usecs(s.Start), usecs(s.End-s.Start), s.Node, s.Thread, s.Bytes),
+			})
+			for j, ph := range s.Phases {
+				events = append(events, chromeEvent{
+					start: ph.Start,
+					seq:   i*(len(s.Phases)+1) + j + 1,
+					json: fmt.Sprintf(`{"name":%s,"cat":"phase","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d}`,
+						strconv.Quote(ph.Name), usecs(ph.Start), usecs(ph.End-ph.Start), s.Node, s.Thread),
+				})
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].start != events[j].start {
+			return events[i].start < events[j].start
+		}
+		return events[i].seq < events[j].seq
+	})
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) error {
+		sep := ",\n"
+		if first {
+			sep = "\n"
+			first = false
+		}
+		_, err := io.WriteString(w, sep+s)
+		return err
+	}
+	// Metadata first (no timestamps): name the process/thread tracks.
+	nodeIDs := make([]int, 0, len(nodes))
+	for n := range nodes {
+		nodeIDs = append(nodeIDs, n)
+	}
+	sort.Ints(nodeIDs)
+	for _, n := range nodeIDs {
+		if err := emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"node %d"}}`, n, n)); err != nil {
+			return err
+		}
+	}
+	threadIDs := make([][2]int, 0, len(threads))
+	for th := range threads {
+		threadIDs = append(threadIDs, th)
+	}
+	sort.Slice(threadIDs, func(i, j int) bool {
+		if threadIDs[i][0] != threadIDs[j][0] {
+			return threadIDs[i][0] < threadIDs[j][0]
+		}
+		return threadIDs[i][1] < threadIDs[j][1]
+	})
+	for _, th := range threadIDs {
+		if err := emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"upc%d"}}`, th[0], th[1], th[1])); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if err := emit(ev.json); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"xlupc/internal/sim"
+)
+
+// secs renders a virtual time as Prometheus seconds.
+func secs(t sim.Time) string {
+	return strconv.FormatFloat(t.Secs(), 'g', -1, 64)
+}
+
+// WritePrometheus serializes the registry in the Prometheus text
+// exposition format. Virtual times are exported in (virtual) seconds.
+// Families are emitted once each in sorted order, so the output never
+// contains duplicate metric names; series within a family are sorted
+// by label set, so the output is deterministic.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	lastFamily := ""
+	for _, m := range t.reg.sorted() {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+				return err
+			}
+		}
+		if err := writeMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func series(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+func writeMetric(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", series(m.name, m.labels), m.count)
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", series(m.name, m.labels),
+			strconv.FormatFloat(m.gauge, 'g', -1, 64))
+		return err
+	default:
+		// Histogram: cumulative buckets up to the highest occupied one,
+		// then +Inf, sum and count.
+		var cum int64
+		top := -1
+		for i, n := range m.bkt {
+			if n > 0 {
+				top = i
+			}
+		}
+		for i := 0; i <= top; i++ {
+			cum += m.bkt[i]
+			le := secs(bucketUpper(i))
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				series(m.name+"_bucket", withLE(m.labels, le)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			series(m.name+"_bucket", withLE(m.labels, "+Inf")), m.count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", series(m.name+"_sum", m.labels), secs(m.sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", series(m.name+"_count", m.labels), m.count)
+		return err
+	}
+}
+
+// Snapshot returns the Prometheus rendering as a string — the
+// deterministic fingerprint of a run's metrics, used by tests to
+// assert that identically-seeded runs produce identical telemetry.
+func (t *Telemetry) Snapshot() string {
+	if t == nil {
+		return ""
+	}
+	var sb strings.Builder
+	_ = t.WritePrometheus(&sb)
+	return sb.String()
+}

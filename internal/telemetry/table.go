@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"xlupc/internal/sim"
+)
+
+// phaseLabel annotates canonical phase names for human output.
+var phaseLabel = map[string]string{
+	PhaseCacheLookup:  "address-cache probe",
+	PhaseCacheInsert:  "address-cache fill",
+	PhaseSend:         "send sw + NIC injection",
+	PhaseWire:         "wire latency + arrival queue",
+	PhaseCPUWait:      "target CPU busy (AM stalled)",
+	PhaseRecv:         "AM handler entry",
+	PhaseSVDResolve:   "SVD handle resolution",
+	PhaseRegistration: "memory registration (pin)",
+	PhaseCopy:         "bounce-buffer copies",
+	PhaseRDMASetup:    "RDMA descriptor + injection",
+	PhaseDMATarget:    "target DMA engine",
+	PhaseRDMARecv:     "initiator NIC completion",
+	PhaseRDMALatency:  "RDMA-mode extra latency",
+	PhaseOther:        "unattributed (scheduling, waits)",
+}
+
+// TargetSidePhases are the phases attributable to the target's CPU or
+// AM handler path — the component the paper's §4.6 Paraver analysis
+// blamed for Field's stalls on GM. Their combined share is what
+// xlupc-top reports as "target-CPU/handler time".
+var TargetSidePhases = []string{PhaseCPUWait, PhaseRecv, PhaseSVDResolve, PhaseRegistration}
+
+// TargetShare is the combined share of the target-CPU/handler phases
+// in an attribution.
+func TargetShare(a Attribution) float64 {
+	var sh float64
+	for _, name := range TargetSidePhases {
+		sh += a.Share(name)
+	}
+	return sh
+}
+
+// WriteAttribution prints the phase-attribution table for one op kind:
+// per phase, the total virtual time across all finished spans, the
+// share of the op's total, and the mean per occurrence.
+func (t *Telemetry) WriteAttribution(w io.Writer, op string) error {
+	a := t.Attribute(op)
+	if a.Spans == 0 {
+		_, err := fmt.Fprintf(w, "%s: no finished spans\n", op)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s: %d ops, %v total (%v mean)\n",
+		op, a.Spans, a.Total, a.Total/sim.Time(a.Spans)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-14s %14s %7s %12s  %s\n",
+		"phase", "total", "share", "mean", ""); err != nil {
+		return err
+	}
+	for _, ph := range a.Phases {
+		mean := ph.Total / sim.Time(ph.Count)
+		label := phaseLabel[ph.Name]
+		if _, err := fmt.Fprintf(w, "  %-14s %14v %6.1f%% %12v  %s\n",
+			ph.Name, ph.Total, 100*float64(ph.Total)/float64(a.Total), mean, label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -163,3 +163,52 @@ func TestPropertyNoOverlap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// failAfterWriter fails the nth write — covering disk-full midway
+// through the trace, not just at the first record.
+type failAfterWriter struct {
+	n    int
+	errs int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		w.errs++
+		return 0, errWriterFull
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errWriterFull = &writerFullError{}
+
+type writerFullError struct{}
+
+func (*writerFullError) Error() string { return "device full" }
+
+func TestWritePRVPropagatesWriteErrors(t *testing.T) {
+	tr := New()
+	tr.Begin(0, StateCompute, 0)
+	tr.End(0, 10*sim.Us)
+	tr.Begin(1, StateGetWait, 5*sim.Us)
+	tr.End(1, 20*sim.Us)
+	tr.Mark(0, "ev", 15*sim.Us)
+
+	// Count how many writes a full dump takes, then fail at each
+	// earlier position in turn: every failure must surface.
+	var counter failAfterWriter
+	counter.n = 1 << 30
+	if err := tr.WritePRV(&counter); err != nil {
+		t.Fatal(err)
+	}
+	writes := (1 << 30) - counter.n
+	if writes < 3 {
+		t.Fatalf("expected at least 3 writes, got %d", writes)
+	}
+	for i := 0; i < writes; i++ {
+		w := &failAfterWriter{n: i}
+		if err := tr.WritePRV(w); err == nil {
+			t.Fatalf("write failure at record %d was dropped", i)
+		}
+	}
+}

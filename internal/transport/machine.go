@@ -6,6 +6,7 @@ import (
 	"xlupc/internal/fabric"
 	"xlupc/internal/mem"
 	"xlupc/internal/sim"
+	"xlupc/internal/telemetry"
 )
 
 // HandlerID names an active-message header handler. The UPC runtime
@@ -26,6 +27,17 @@ type Msg struct {
 	Meta     any    // protocol header (simulation passes pointers)
 	Payload  []byte // data carried by eager transfers (may be nil)
 	wire     int    // total wire size
+
+	// Span is the telemetry span of the operation this message belongs
+	// to, nil when telemetry is off or the message is uninstrumented
+	// control traffic. It rides along so target-side layers attribute
+	// their phases into the initiating operation. sent is the injection
+	// time and arrived the physical delivery time: sent→arrived is pure
+	// wire latency, while arrived→handler-start is the target being
+	// busy (queue residency plus CPU acquisition).
+	Span    *telemetry.Span
+	sent    sim.Time
+	arrived sim.Time
 }
 
 // WireSize reports the message's size on the wire.
@@ -42,6 +54,11 @@ type Machine struct {
 
 	amCount   int64 // active messages sent
 	rdmaCount int64 // RDMA operations issued
+	nacks     int64 // RDMA operations NACKed at the target
+
+	// Tel is the run's telemetry hub; nil disables all recording at
+	// zero virtual-time cost (phase recording never sleeps).
+	Tel *telemetry.Telemetry
 }
 
 // Node is one cluster node as the transport sees it.
@@ -100,9 +117,10 @@ func (m *Machine) Handle(id HandlerID, h Handler) {
 	m.handlers[id] = h
 }
 
-// AMCount and RDMACount report operation totals.
+// AMCount, RDMACount and NackCount report operation totals.
 func (m *Machine) AMCount() int64   { return m.amCount }
 func (m *Machine) RDMACount() int64 { return m.rdmaCount }
+func (m *Machine) NackCount() int64 { return m.nacks }
 
 func (m *Machine) spawnDispatchers(nd *Node) {
 	port := m.Fab.Port(nd.ID)
@@ -127,8 +145,19 @@ func (m *Machine) spawnDispatchers(nd *Node) {
 				if h == nil {
 					panic(fmt.Sprintf("transport: node %d: no handler %d", nd.ID, msg.Handler))
 				}
+				msg.Span.Phase(telemetry.PhaseWire, msg.sent, msg.arrived)
+				// Everything between physical arrival and handler start
+				// is the target being busy: queue residency behind
+				// earlier handlers plus waiting for a CPU/comm context.
+				// On non-overlapping transports this is the target CPU
+				// computing — the paper's §4.6 culprit.
+				acq := p.Now()
 				nd.Comm.Acquire(p)
+				msg.Span.Phase(telemetry.PhaseCPUWait, msg.arrived, acq)
+				msg.Span.Phase(telemetry.PhaseCPUWait, acq, p.Now())
+				recv := p.Now()
 				p.Sleep(m.Prof.RecvOverhead)
+				msg.Span.Phase(telemetry.PhaseRecv, recv, p.Now())
 				h(p, nd, msg)
 				nd.Comm.Release()
 			}
@@ -145,7 +174,13 @@ func (m *Machine) spawnDispatchers(nd *Node) {
 			case *dmaPut:
 				m.serveDMAPut(p, nd, op)
 			case *dmaResp:
+				op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
+				t0 := p.Now()
 				p.Sleep(m.Prof.RDMARecvCost)
+				// Queue residency at the initiator NIC plus the
+				// completion service itself.
+				op.span.Phase(telemetry.PhaseRDMARecv, op.arrived, t0)
+				op.span.Phase(telemetry.PhaseRDMARecv, t0, p.Now())
 				op.done.Complete(op.val)
 			default:
 				panic(fmt.Sprintf("transport: node %d: bad DMA op %T", nd.ID, raw))
@@ -159,17 +194,28 @@ func (m *Machine) spawnDispatchers(nd *Node) {
 // the message is on the wire; delivery and handling are asynchronous.
 // extra widens the wire size beyond header+payload (piggybacked data).
 func (m *Machine) SendAM(p *sim.Proc, src, dst int, id HandlerID, meta any, payload []byte, extra int) {
+	m.SendAMSpan(p, src, dst, id, meta, payload, extra, nil)
+}
+
+// SendAMSpan is SendAM carrying a telemetry span: the initiator's send
+// phase (software overhead plus NIC injection) is attributed to it, and
+// the span rides with the message so the target's dispatcher and
+// handler attribute their phases into the same operation.
+func (m *Machine) SendAMSpan(p *sim.Proc, src, dst int, id HandlerID, meta any, payload []byte, extra int, span *telemetry.Span) {
 	if src == dst {
 		panic("transport: AM to self; intra-node traffic must use shared memory")
 	}
 	m.amCount++
 	msg := &Msg{Src: src, Dst: dst, Handler: id, Meta: meta, Payload: payload,
-		wire: m.Prof.AMHeaderBytes + len(payload) + extra}
+		wire: m.Prof.AMHeaderBytes + len(payload) + extra, Span: span}
+	t0 := p.Now()
 	p.Sleep(m.Prof.SendOverhead)
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
-	m.Fab.Inject(p, src, dst, msg.wire, fabric.ClassAM, msg)
+	msg.arrived = m.Fab.Inject(p, src, dst, msg.wire, fabric.ClassAM, msg)
 	tx.Release()
+	msg.sent = p.Now()
+	span.Phase(telemetry.PhaseSend, t0, msg.sent)
 }
 
 // ReplyAM is SendAM for use inside handlers (identical mechanics; the
@@ -177,4 +223,9 @@ func (m *Machine) SendAM(p *sim.Proc, src, dst int, id HandlerID, meta any, payl
 // non-overlapping transports reply construction occupies the CPU).
 func (m *Machine) ReplyAM(p *sim.Proc, src, dst int, id HandlerID, meta any, payload []byte, extra int) {
 	m.SendAM(p, src, dst, id, meta, payload, extra)
+}
+
+// ReplyAMSpan is ReplyAM carrying the operation's span into the reply.
+func (m *Machine) ReplyAMSpan(p *sim.Proc, src, dst int, id HandlerID, meta any, payload []byte, extra int, span *telemetry.Span) {
+	m.SendAMSpan(p, src, dst, id, meta, payload, extra, span)
 }

@@ -6,6 +6,7 @@ import (
 	"xlupc/internal/fabric"
 	"xlupc/internal/mem"
 	"xlupc/internal/sim"
+	"xlupc/internal/telemetry"
 )
 
 // dmaGet is an RDMA read descriptor serviced by the target's DMA
@@ -16,6 +17,10 @@ type dmaGet struct {
 	raddr     mem.Addr
 	size      int
 	done      *sim.Completion // completes at the initiator with []byte
+
+	span    *telemetry.Span
+	sent    sim.Time // injection time, start of the wire phase
+	arrived sim.Time // physical delivery time at the target NIC
 }
 
 // dmaPut is an RDMA write descriptor: the payload travelled with the
@@ -26,12 +31,20 @@ type dmaPut struct {
 	raddr     mem.Addr
 	data      []byte
 	done      *sim.Completion // completes when the data is in target memory
+
+	span    *telemetry.Span
+	sent    sim.Time
+	arrived sim.Time
 }
 
 // dmaResp carries an RDMA completion back to the initiator NIC.
 type dmaResp struct {
 	done *sim.Completion
 	val  any
+
+	span    *telemetry.Span
+	sent    sim.Time
+	arrived sim.Time
 }
 
 // Nack is the completion value of an RDMA operation that reached a
@@ -47,19 +60,32 @@ type Nack struct{}
 // false when the target region had been deregistered (limited-pinning
 // NACK); the caller must invalidate and fall back.
 func (m *Machine) RDMAGet(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int) (data []byte, ok bool) {
+	return m.RDMAGetSpan(p, src, dst, base, raddr, size, nil)
+}
+
+// RDMAGetSpan is RDMAGet carrying a telemetry span: descriptor setup
+// and injection, target DMA service, completion and the RDMA-mode
+// extra latency are attributed to it phase by phase.
+func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int, span *telemetry.Span) (data []byte, ok bool) {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-get")
+	t0 := p.Now()
 	p.Sleep(m.Prof.RDMASetup)
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
-	m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA,
-		&dmaGet{initiator: src, base: base, raddr: raddr, size: size, done: done})
+	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, done: done, span: span}
+	op.arrived = m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op)
 	tx.Release()
+	op.sent = p.Now()
+	span.Phase(telemetry.PhaseRDMASetup, t0, op.sent)
 	p.Wait(done)
 	// RDMA mode adds latency (the HPS trait) without occupying any
 	// engine: charge it to the initiator's roundtrip.
+	lat := p.Now()
 	p.Sleep(m.Prof.RDMAExtraLatency)
+	span.Phase(telemetry.PhaseRDMALatency, lat, p.Now())
 	if _, nack := done.Value().(Nack); nack {
+		m.noteNack("get")
 		return nil, false
 	}
 	return done.Value().([]byte), true
@@ -72,52 +98,81 @@ func (m *Machine) RDMAGet(p *sim.Proc, src, dst int, base, raddr mem.Addr, size 
 // completion that fires when the data is globally visible in target
 // memory, which fences wait on.
 func (m *Machine) RDMAPut(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte) *sim.Completion {
+	return m.RDMAPutSpan(p, src, dst, base, raddr, data, nil)
+}
+
+// RDMAPutSpan is RDMAPut carrying a telemetry span.
+func (m *Machine) RDMAPutSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte, span *telemetry.Span) *sim.Completion {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-put")
+	t0 := p.Now()
 	p.Sleep(m.Prof.RDMASetup)
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
-	m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA,
-		&dmaPut{initiator: src, base: base, raddr: raddr, data: data, done: done})
+	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, done: done, span: span}
+	op.arrived = m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op)
 	tx.Release()
+	op.sent = p.Now()
+	span.Phase(telemetry.PhaseRDMASetup, t0, op.sent)
+	lat := p.Now()
 	p.Sleep(m.Prof.RDMAExtraLatency) // hardware completion of the origin side
+	span.Phase(telemetry.PhaseRDMALatency, lat, p.Now())
 	return done
 }
 
+// noteNack counts an RDMA NACK observed by the initiator.
+func (m *Machine) noteNack(op string) {
+	m.nacks++
+	m.Tel.Add("xlupc_rdma_nacks_total", `op="`+op+`"`, 1)
+}
+
 func (m *Machine) serveDMAGet(p *sim.Proc, nd *Node, op *dmaGet) {
+	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
+	t0 := p.Now()
 	p.Sleep(m.Prof.RDMATargetCost)
+	// Queue residency behind earlier descriptors plus the engine's
+	// service time — all DMA-engine occupancy, no CPU.
+	op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
+	op.span.Phase(telemetry.PhaseDMATarget, t0, p.Now())
 	if !nd.Pins.TouchOK(op.base, p.Now()) {
-		m.nackOrPanic(p, nd, op.initiator, op.base, op.done)
+		m.nackOrPanic(p, nd, op.initiator, op.base, op.done, op.span)
 		return
 	}
 	data := nd.Mem.ReadAlloc(op.raddr, op.size)
 	tx := m.Fab.Port(nd.ID).TX
 	tx.Acquire(p)
-	m.Fab.Inject(p, nd.ID, op.initiator, m.Prof.RDMADescBytes+op.size, fabric.ClassDMA,
-		&dmaResp{done: op.done, val: data})
+	resp := &dmaResp{done: op.done, val: data, span: op.span}
+	resp.arrived = m.Fab.Inject(p, nd.ID, op.initiator, m.Prof.RDMADescBytes+op.size, fabric.ClassDMA, resp)
 	tx.Release()
+	resp.sent = p.Now()
 }
 
 // nackOrPanic handles an RDMA touch of unregistered memory: a NACK
 // under limited pinning, a crash under pin-everything (where it can
 // only be a runtime bug).
-func (m *Machine) nackOrPanic(p *sim.Proc, nd *Node, initiator int, base mem.Addr, done *sim.Completion) {
+func (m *Machine) nackOrPanic(p *sim.Proc, nd *Node, initiator int, base mem.Addr, done *sim.Completion, span *telemetry.Span) {
 	if nd.Pins.Policy() != mem.PinLimited {
 		panic(fmt.Sprintf("transport: node %d: RDMA access to unpinned region %#x under pin-all", nd.ID, base))
 	}
 	tx := m.Fab.Port(nd.ID).TX
 	tx.Acquire(p)
-	m.Fab.Inject(p, nd.ID, initiator, m.Prof.RDMADescBytes, fabric.ClassDMA,
-		&dmaResp{done: done, val: Nack{}})
+	resp := &dmaResp{done: done, val: Nack{}, span: span}
+	resp.arrived = m.Fab.Inject(p, nd.ID, initiator, m.Prof.RDMADescBytes, fabric.ClassDMA, resp)
 	tx.Release()
+	resp.sent = p.Now()
 }
 
 func (m *Machine) serveDMAPut(p *sim.Proc, nd *Node, op *dmaPut) {
+	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
+	t0 := p.Now()
 	p.Sleep(m.Prof.RDMATargetCost)
+	op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
+	op.span.Phase(telemetry.PhaseDMATarget, t0, p.Now())
 	if !nd.Pins.TouchOK(op.base, p.Now()) {
 		if nd.Pins.Policy() != mem.PinLimited {
 			panic(fmt.Sprintf("transport: node %d: RDMA write to unpinned region %#x under pin-all", nd.ID, op.base))
 		}
+		m.noteNack("put")
 		op.done.Complete(Nack{})
 		return
 	}
