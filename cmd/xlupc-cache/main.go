@@ -23,7 +23,9 @@ func main() {
 	maxThreads := flag.Int("maxthreads", 512, "largest thread count of the sweep (paper: 2048)")
 	capsFlag := flag.String("caps", "4,10,100", "comma-separated cache capacities")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	var caps []int
 	for _, c := range strings.Split(*capsFlag, ",") {

@@ -23,7 +23,9 @@ func main() {
 	maxThreads := flag.Int("maxthreads", 512, "largest thread count (paper: 2048 GM, 448 LAPI)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	reps := flag.Int("reps", 1, "independent runs per point; >1 adds 95% confidence intervals (the paper's methodology)")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	run := func(name string) {
 		prof := transport.ByName(name)

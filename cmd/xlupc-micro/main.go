@@ -24,7 +24,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	absolute := flag.Bool("absolute", false, "emit Figure 7 (absolute latencies) instead")
 	miss := flag.Bool("missoverhead", false, "emit the miss-overhead measurement instead")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	switch {
 	case *miss:

@@ -29,7 +29,9 @@ func main() {
 	full := flag.Bool("full", false, "run at the paper's largest scales (slower)")
 	reps := flag.Int("reps", 10, "microbenchmark repetitions per point")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	flag.Parse()
+	bench.SetParallelism(*parallel)
 
 	maxGM, maxLAPI, maxFig8 := 256, 128, 512
 	if *full {

@@ -1,0 +1,104 @@
+// Engine throughput benchmarks: raw event rate and allocation profile
+// of the simulation kernel, plus a paper-scale sweep point. These gauge
+// the simulator itself (events/sec of the specialized heap, callback
+// fast paths, process handoff) rather than reproducing a figure.
+package xlupc
+
+import (
+	"testing"
+
+	"xlupc/internal/bench"
+	"xlupc/internal/sim"
+	"xlupc/internal/transport"
+)
+
+// BenchmarkEngineEventThroughput measures the pure callback event loop:
+// schedule-run-schedule with no processes, the kernel's fastest path.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(10, tick)
+		}
+	}
+	k.After(10, tick)
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineFanout measures heap throughput under a wide pending
+// set: 1024 concurrent timers rescheduling themselves, so every push
+// and pop sifts through a populated 4-ary heap.
+func BenchmarkEngineFanout(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	const width = 1024
+	n := 0
+	for i := 0; i < width; i++ {
+		period := sim.Duration(10 + i%7)
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				k.After(period, tick)
+			}
+		}
+		k.After(period, tick)
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineProcessHandoff measures the goroutine-backed process
+// path: one park/resume rendezvous per simulated hop.
+func BenchmarkEngineProcessHandoff(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	k.Spawn("walker", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "switches/sec")
+}
+
+// BenchmarkFig8PointerPaperScale runs the Figure 8 Pointer sweep point
+// at 256 threads on 64 nodes — a quarter of the paper's largest
+// 2048-512 configuration — in one piece. It exists to show paper-scale
+// machines are within reach of a unit-test budget.
+func BenchmarkFig8PointerPaperScale(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig8("pointer", []bench.Scale{{Threads: 256, Nodes: 64}}, []int{10}, 1)
+		b.ReportMetric(pts[0].HitRate, "hit%")
+	}
+}
+
+// BenchmarkFig9GMWide is BenchmarkFig9GM with the experiment harness
+// fanned out over all cores (the -parallel path); virtual-time results
+// are identical to the sequential run by construction.
+func BenchmarkFig9GMWide(b *testing.B) {
+	b.ReportAllocs()
+	prev := bench.SetParallelism(0) // 0 = GOMAXPROCS
+	defer bench.SetParallelism(prev)
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig9(transport.GM(), bench.GMScales(16), 1)
+		for _, m := range []string{"pointer", "update", "neighborhood", "field"} {
+			fig9Metric(b, pts, m)
+		}
+	}
+}

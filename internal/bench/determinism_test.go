@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"xlupc/internal/core"
+	"xlupc/internal/dis"
+	"xlupc/internal/transport"
+)
+
+// The simulation's determinism contract: a run is a pure function of
+// its configuration and seed. Virtual time, cache behaviour and every
+// other reported statistic must be bit-identical across repeated runs,
+// across sequential and parallel sweeps, and across GOMAXPROCS
+// settings — wall-clock parallelism must never leak into results.
+
+func mustFn(t *testing.T, name string) dis.Func {
+	t.Helper()
+	fn, err := dis.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+// TestRunStatsBitIdenticalAcrossRuns repeats one stressmark run with
+// the same seed and requires identical RunStats, field for field.
+func TestRunStatsBitIdenticalAcrossRuns(t *testing.T) {
+	fn := mustFn(t, "pointer")
+	sc := Scale{Threads: 8, Nodes: 2}
+	first := runStressmark(fn, sc, transport.GM(), core.DefaultCache(), 7)
+	for i := 0; i < 3; i++ {
+		again := runStressmark(fn, sc, transport.GM(), core.DefaultCache(), 7)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged:\nfirst: %+v\nagain: %+v", i, first, again)
+		}
+	}
+}
+
+// TestRunStatsIdenticalAcrossGOMAXPROCS runs the same simulation under
+// GOMAXPROCS=1 and a high setting; the kernel's strict one-at-a-time
+// handoff must make scheduler parallelism invisible.
+func TestRunStatsIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	fn := mustFn(t, "update")
+	sc := Scale{Threads: 8, Nodes: 2}
+	prev := runtime.GOMAXPROCS(1)
+	one := runStressmark(fn, sc, transport.LAPI(), core.DefaultCache(), 3)
+	runtime.GOMAXPROCS(8)
+	many := runStressmark(fn, sc, transport.LAPI(), core.DefaultCache(), 3)
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(one, many) {
+		t.Fatalf("GOMAXPROCS changed results:\n1:    %+v\nmany: %+v", one, many)
+	}
+}
+
+// TestSweepsSequentialVsParallelIdentical runs the figure sweeps with
+// the harness forced sequential and forced wide, and requires the
+// results to match exactly — ordering included.
+func TestSweepsSequentialVsParallelIdentical(t *testing.T) {
+	scales := []Scale{{8, 2}, {16, 4}}
+	run := func(workers int) (fig9 []Fig9Point, fig8 []HitRatePoint, micro []LatencyPoint, miss float64) {
+		prevWorkers := SetParallelism(workers)
+		defer SetParallelism(prevWorkers)
+		fig9 = Fig9(transport.GM(), scales, 5)
+		fig8 = Fig8("pointer", scales, []int{4, 100}, 5)
+		micro = MicroSweep(OpGet, transport.GM(), []int{8, 1024}, 3, 5)
+		miss = MissOverhead(transport.GM(), 5)
+		return
+	}
+	seq9, seq8, seqM, seqMiss := run(1)
+	par9, par8, parM, parMiss := run(8)
+	if !reflect.DeepEqual(seq9, par9) {
+		t.Errorf("Fig9 parallel diverged:\nseq: %+v\npar: %+v", seq9, par9)
+	}
+	if !reflect.DeepEqual(seq8, par8) {
+		t.Errorf("Fig8 parallel diverged:\nseq: %+v\npar: %+v", seq8, par8)
+	}
+	if !reflect.DeepEqual(seqM, parM) {
+		t.Errorf("MicroSweep parallel diverged:\nseq: %+v\npar: %+v", seqM, parM)
+	}
+	if seqMiss != parMiss {
+		t.Errorf("MissOverhead parallel diverged: seq %v, par %v", seqMiss, parMiss)
+	}
+}
+
+// TestFig9CISequentialVsParallelIdentical covers the replicated-run
+// driver: per-replication seeds and the aggregation order must not
+// depend on worker scheduling.
+func TestFig9CISequentialVsParallelIdentical(t *testing.T) {
+	sc := Scale{Threads: 8, Nodes: 2}
+	prev := SetParallelism(1)
+	seq := Fig9CI("pointer", transport.GM(), sc, 4, 11)
+	SetParallelism(8)
+	par := Fig9CI("pointer", transport.GM(), sc, 4, 11)
+	SetParallelism(prev)
+	if seq.Mean() != par.Mean() || seq.CI95() != par.CI95() {
+		t.Fatalf("Fig9CI diverged: seq mean %v ci %v, par mean %v ci %v",
+			seq.Mean(), seq.CI95(), par.Mean(), par.CI95())
+	}
+}
+
+// TestParforPropagatesLowestPanic checks a parallel sweep surfaces the
+// same panic a sequential loop would have hit first.
+func TestParforPropagatesLowestPanic(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+	defer func() {
+		r := recover()
+		if r != "boom-1" {
+			t.Fatalf("recovered %v, want boom-1", r)
+		}
+	}()
+	parfor(8, func(i int) {
+		if i == 1 || i == 6 {
+			panic("boom-" + string(rune('0'+i)))
+		}
+	})
+	t.Fatal("parfor did not panic")
+}

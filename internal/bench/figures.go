@@ -33,19 +33,20 @@ type LatencyPoint struct {
 	Improvement float64 // 100*(Z-W)/Z
 }
 
-// MicroSweep measures a size sweep for op on prof.
+// MicroSweep measures a size sweep for op on prof. Points run across
+// the harness workers (SetParallelism) in deterministic output order.
 func MicroSweep(op Op, prof *transport.Profile, sizes []int, reps int, seed int64) []LatencyPoint {
-	pts := make([]LatencyPoint, 0, len(sizes))
-	for _, size := range sizes {
-		o := MicroOpts{Prof: prof, Size: size, Reps: reps, Warm: 3, Seed: seed,
+	pts := make([]LatencyPoint, len(sizes))
+	parfor(len(sizes), func(i int) {
+		o := MicroOpts{Prof: prof, Size: sizes[i], Reps: reps, Warm: 3, Seed: seed,
 			ForcePutCache: op == OpPut}
 		zs := MicroLatency(op, false, o)
 		ws := MicroLatency(op, true, o)
 		z, w := zs.Mean(), ws.Mean()
-		pts = append(pts, LatencyPoint{
-			Size: size, WithoutUs: z, WithUs: w, Improvement: stats.Improvement(z, w),
-		})
-	}
+		pts[i] = LatencyPoint{
+			Size: sizes[i], WithoutUs: z, WithUs: w, Improvement: stats.Improvement(z, w),
+		}
+	})
 	return pts
 }
 
@@ -133,14 +134,13 @@ func Fig8(mark string, scales []Scale, capacities []int, seed int64) []HitRatePo
 	if err != nil {
 		panic(err)
 	}
-	var out []HitRatePoint
-	for _, capEntries := range capacities {
-		for _, sc := range scales {
-			cc := core.CacheConfig{Enabled: true, Capacity: capEntries}
-			st := runStressmark(fn, sc, transport.GM(), cc, seed)
-			out = append(out, HitRatePoint{Scale: sc, Capacity: capEntries, HitRate: st.Cache.HitRate()})
-		}
-	}
+	out := make([]HitRatePoint, len(capacities)*len(scales))
+	parfor(len(out), func(i int) {
+		capEntries, sc := capacities[i/len(scales)], scales[i%len(scales)]
+		cc := core.CacheConfig{Enabled: true, Capacity: capEntries}
+		st := runStressmark(fn, sc, transport.GM(), cc, seed)
+		out[i] = HitRatePoint{Scale: sc, Capacity: capEntries, HitRate: st.Cache.HitRate()}
+	})
 	return out
 }
 
@@ -173,17 +173,17 @@ type Fig9Point struct {
 // Fig9 measures the execution-time improvement of the address cache
 // for every stressmark across scales on one transport.
 func Fig9(prof *transport.Profile, scales []Scale, seed int64) []Fig9Point {
-	var out []Fig9Point
-	for _, s := range dis.Suite() {
-		for _, sc := range scales {
-			z := runStressmark(s.Fn, sc, prof, core.NoCache(), seed)
-			w := runStressmark(s.Fn, sc, prof, core.DefaultCache(), seed)
-			out = append(out, Fig9Point{
-				Scale: sc, Mark: s.Name,
-				Improvement: stats.Improvement(z.Elapsed.Usecs(), w.Elapsed.Usecs()),
-			})
+	suite := dis.Suite()
+	out := make([]Fig9Point, len(suite)*len(scales))
+	parfor(len(out), func(i int) {
+		s, sc := suite[i/len(scales)], scales[i%len(scales)]
+		z := runStressmark(s.Fn, sc, prof, core.NoCache(), seed)
+		w := runStressmark(s.Fn, sc, prof, core.DefaultCache(), seed)
+		out[i] = Fig9Point{
+			Scale: sc, Mark: s.Name,
+			Improvement: stats.Improvement(z.Elapsed.Usecs(), w.Elapsed.Usecs()),
 		}
-	}
+	})
 	return out
 }
 
@@ -217,8 +217,8 @@ func Fig9CI(mark string, prof *transport.Profile, sc Scale, reps int, seed int64
 	if err != nil {
 		panic(err)
 	}
-	var s stats.Sample
-	for r := 0; r < reps; r++ {
+	imps := make([]float64, reps)
+	parfor(reps, func(r int) {
 		rs := seed + int64(r)*7919
 		p := dis.Default(sc.Threads)
 		p.Salt = uint64(rs)
@@ -236,7 +236,11 @@ func Fig9CI(mark string, prof *transport.Profile, sc Scale, reps int, seed int64
 			return st
 		}
 		z, w := run(core.NoCache()), run(core.DefaultCache())
-		s.Add(stats.Improvement(z.Elapsed.Usecs(), w.Elapsed.Usecs()))
+		imps[r] = stats.Improvement(z.Elapsed.Usecs(), w.Elapsed.Usecs())
+	})
+	var s stats.Sample
+	for _, v := range imps {
+		s.Add(v) // replication order, independent of worker scheduling
 	}
 	return s
 }
@@ -288,24 +292,29 @@ func MissOverhead(prof *transport.Profile, seed int64) (pct float64) {
 		}
 		return st.Elapsed
 	}
-	off := run(core.NoCache())
-	allMiss := run(core.CacheConfig{Enabled: true, Capacity: 0})
+	configs := []core.CacheConfig{core.NoCache(), {Enabled: true, Capacity: 0}}
+	times := make([]sim.Time, len(configs))
+	parfor(len(configs), func(i int) { times[i] = run(configs[i]) })
+	off, allMiss := times[0], times[1]
 	return 100 * (float64(allMiss) - float64(off)) / float64(off)
 }
 
 // PinUsage reports the peak pinned-table occupancy across nodes for
 // every stressmark (§4.5: ~10 entries suffice).
 func PinUsage(prof *transport.Profile, sc Scale, seed int64) map[string]int {
-	out := make(map[string]int)
-	for _, s := range dis.Suite() {
-		st := runStressmark(s.Fn, sc, prof, core.DefaultCache(), seed)
-		peak := 0
+	suite := dis.Suite()
+	peaks := make([]int, len(suite))
+	parfor(len(suite), func(i int) {
+		st := runStressmark(suite[i].Fn, sc, prof, core.DefaultCache(), seed)
 		for _, p := range st.PinnedPeak {
-			if p > peak {
-				peak = p
+			if p > peaks[i] {
+				peaks[i] = p
 			}
 		}
-		out[s.Name] = peak
+	})
+	out := make(map[string]int, len(suite))
+	for i, s := range suite {
+		out[s.Name] = peaks[i]
 	}
 	return out
 }

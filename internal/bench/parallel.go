@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep drivers in this package (MicroSweep, Fig8, Fig9, Fig9CI,
+// MissOverhead, PinUsage) fan their simulation points out over a pool
+// of worker goroutines. Every point is an independent Runtime — its own
+// kernel, fabric and RNGs, nothing shared — so results are bit-identical
+// to a sequential sweep; only the wall clock changes. Each worker writes
+// its result into the slot its index owns, which fixes the output order
+// regardless of scheduling.
+var parallelism atomic.Int64
+
+// SetParallelism sets the number of worker goroutines the sweep drivers
+// use. n <= 0 restores the default, GOMAXPROCS. It returns the previous
+// setting so callers can scope the change.
+func SetParallelism(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(parallelism.Swap(int64(n)))
+}
+
+// Parallelism reports the number of workers sweeps currently use.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parfor runs fn(0..n-1), fanning out across the configured workers.
+// fn must write its result into state owned by its index. A panic in
+// any index is re-raised on the caller — the lowest panicking index
+// wins, matching what a sequential loop would have surfaced first.
+func parfor(n int, fn func(i int)) {
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panics   = make([]any, n)
+		panicked atomic.Bool
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+							panicked.Store(true)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for _, r := range panics {
+			if r != nil {
+				panic(r)
+			}
+		}
+	}
+}

@@ -54,7 +54,9 @@ func (t *Thread) AtomicAddU64(r Ref, delta uint64) uint64 {
 	t.rt.M.SendAM(t.p, t.ns.id, rn, hAtomic,
 		&atomicReq{H: a.h.Key(), Off: off, Delta: delta, Done: done}, nil, 16)
 	t.p.Wait(done)
-	return done.Value().(uint64)
+	v := done.Value().(uint64)
+	t.rt.K.Recycle(done)
+	return v
 }
 
 // fetchAdd performs the indivisible read-modify-write on this node.

@@ -299,13 +299,16 @@ func (t *Thread) eagerGet(a *SharedArray, rn int, off int64, dst []byte, span *t
 		&getReq{H: a.h, Off: off, Size: len(dst), WantAddr: t.ns.cache != nil, Done: done}, nil, 0, span)
 	t.p.Wait(done)
 	copy(dst, done.Value().([]byte))
+	t.rt.K.Recycle(done) // handler's only reference died with the reply
 }
 
 func (t *Thread) rendezvous(a *SharedArray, rn int, size int, span *telemetry.Span) rtrResult {
 	done := sim.NewCompletion(t.rt.K, "rts")
 	t.rt.M.SendAMSpan(t.p, t.ns.id, rn, hRTS, &rts{H: a.h, Size: size, Done: done}, nil, 0, span)
 	t.p.Wait(done)
-	return done.Value().(rtrResult)
+	res := done.Value().(rtrResult)
+	t.rt.K.Recycle(done)
+	return res
 }
 
 // putRun writes src at element idx (a single-affinity contiguous run).

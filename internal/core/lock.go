@@ -116,7 +116,9 @@ func (t *Thread) TryLock(l *Lock) bool {
 	done := sim.NewCompletion(t.rt.K, "trylock "+l.name)
 	t.rt.M.SendAM(t.p, t.ns.id, l.home, hLockTry, &lockReq{H: l.h, Done: done}, nil, 0)
 	t.p.Wait(done)
-	return done.Value().(bool)
+	v := done.Value().(bool)
+	t.rt.K.Recycle(done)
+	return v
 }
 
 // Unlock releases l (upc_unlock). The next waiter, if any, is granted

@@ -124,6 +124,12 @@ func (rt *Runtime) Run(body func(t *Thread)) (RunStats, error) {
 		return RunStats{}, fmt.Errorf("core: Runtime.Run called twice; build a fresh Runtime per run")
 	}
 	rt.ran = true
+	// Whatever way the run ends — clean completion, Stop, an event
+	// limit, a deadlock error, or a panic unwinding through Run — the
+	// dispatcher daemons (and, on error paths, stranded program threads)
+	// are still parked on their goroutines. Release them so repeated
+	// simulations (sweeps, benchmarks) do not accumulate goroutines.
+	defer rt.K.Shutdown()
 	for _, th := range rt.threads {
 		th := th
 		rt.K.Spawn(fmt.Sprintf("upc%d", th.id), func(p *sim.Proc) {

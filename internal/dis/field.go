@@ -1,6 +1,8 @@
 package dis
 
 import (
+	"bytes"
+
 	"xlupc/internal/core"
 	"xlupc/internal/sim"
 )
@@ -77,21 +79,18 @@ func Field(t *core.Thread, p Params) uint64 {
 		t.GetBulk(ext, a.At(succ)) // wraps: last thread samples thread 0
 		scan := append(local, ext...)
 
-		// Search over the snapshot, collecting match positions.
+		// Search over the snapshot, collecting match positions
+		// (non-overlapping, as in the original byte-by-byte scan).
 		var matches []int64
-		for i := 0; i+int(tokLen) <= len(scan); i++ {
-			match := true
-			for j := int64(0); j < tokLen; j++ {
-				if scan[i+int(j)] != tok[j] {
-					match = false
-					break
-				}
+		for i := 0; i+int(tokLen) <= len(scan); {
+			j := bytes.Index(scan[i:], tok)
+			if j < 0 {
+				break
 			}
-			if match {
-				found++
-				matches = append(matches, (lo+int64(i))%n)
-				i += int(tokLen) - 1
-			}
+			i += j
+			found++
+			matches = append(matches, (lo+int64(i))%n)
+			i += int(tokLen)
 		}
 		// All threads scanned the same snapshot; synchronize, then
 		// update the delimiter byte of every match ('Z' writes are

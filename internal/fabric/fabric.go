@@ -106,6 +106,32 @@ func (f *Fabric) Inject(p *sim.Proc, src, dst int, size int, class Class, m any)
 	f.messages++
 	f.bytes += int64(size)
 	p.Sleep(f.wire.Serialize(size))
+	return f.deliver(src, dst, class, m)
+}
+
+// InjectC is Inject for kernel-callback senders (the DMA engine's
+// handoff-free path): serialization is modelled by scheduling done
+// after the serialize time instead of sleeping a process. The caller
+// must hold src's TX through done, which receives the arrival time.
+func (f *Fabric) InjectC(src, dst int, size int, class Class, m any, done func(arrive sim.Time)) {
+	if src == dst {
+		panic(fmt.Sprintf("fabric: node %d sending to itself", src))
+	}
+	f.messages++
+	f.bytes += int64(size)
+	ser := f.wire.Serialize(size)
+	if ser <= 0 { // zero-width message: no serialization event
+		done(f.deliver(src, dst, class, m))
+		return
+	}
+	f.k.After(ser, func() {
+		done(f.deliver(src, dst, class, m))
+	})
+}
+
+// deliver schedules arrival of m at dst after the route latency and
+// returns the arrival time.
+func (f *Fabric) deliver(src, dst int, class Class, m any) sim.Time {
 	arrive := f.k.Now() + f.wire.Latency(f.topo, src, dst)
 	port := f.ports[dst]
 	f.k.At(arrive, func() {

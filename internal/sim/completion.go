@@ -6,19 +6,44 @@ import "fmt"
 // process or kernel callback Completes it, waking all waiters at the
 // current virtual time. A Completion may carry an arbitrary value.
 type Completion struct {
-	k       *Kernel
-	name    string
-	done    bool
-	at      Time
-	val     any
-	waiters []*Proc
-	thens   []func(v any)
+	k         *Kernel
+	name      string
+	waitState string // precomputed park diagnostic ("waiting on <name>")
+	done      bool
+	at        Time
+	val       any
+	waiters   []*Proc
+	thens     []func(v any)
 }
 
 // NewCompletion returns an incomplete Completion. The name appears in
-// deadlock diagnostics.
+// deadlock diagnostics. Completions recycled with Kernel.Recycle are
+// reused here, so hot protocol paths do not allocate one per
+// operation.
 func NewCompletion(k *Kernel, name string) *Completion {
-	return &Completion{k: k, name: name}
+	if n := len(k.cpool); n > 0 {
+		c := k.cpool[n-1]
+		k.cpool = k.cpool[:n-1]
+		c.name = name
+		c.waitState = "waiting on " + name
+		c.done = false
+		c.at = 0
+		c.val = nil
+		return c
+	}
+	return &Completion{k: k, name: name, waitState: "waiting on " + name}
+}
+
+// Recycle returns a spent completion to the kernel's pool for reuse by
+// a future NewCompletion. The caller must guarantee the completion is
+// done and no other reference to it remains (no pending Wait, Then, or
+// in-flight message carrying it); recycling a live completion corrupts
+// the simulation. Purely an allocation optimization — never required.
+func (k *Kernel) Recycle(c *Completion) {
+	c.val = nil
+	c.waiters = c.waiters[:0]
+	c.thens = c.thens[:0]
+	k.cpool = append(k.cpool, c)
 }
 
 // Done reports whether the completion has completed.
@@ -31,9 +56,11 @@ func (c *Completion) Value() any { return c.val }
 // CompletedAt returns the virtual time of completion (valid once Done).
 func (c *Completion) CompletedAt() Time { return c.at }
 
-// Complete marks the completion done with value v and schedules every
-// waiter to resume at the current time. Completing twice is a bug and
-// panics.
+// Complete marks the completion done with value v, schedules every
+// waiter to resume at the current time, and runs registered Then
+// callbacks inline, in the caller's (kernel) context at completion
+// time — no event is scheduled per callback. Completing twice is a bug
+// and panics.
 func (c *Completion) Complete(v any) {
 	if c.done {
 		panic(fmt.Sprintf("sim: completion %q completed twice", c.name))
@@ -44,21 +71,24 @@ func (c *Completion) Complete(v any) {
 	for _, p := range c.waiters {
 		c.k.schedule(c.k.now, p, nil)
 	}
-	c.waiters = nil
-	for _, fn := range c.thens {
-		fn := fn
-		c.k.After(0, func() { fn(v) })
+	c.waiters = c.waiters[:0]
+	if len(c.thens) > 0 {
+		thens := c.thens
+		c.thens = nil // a Then registered from inside a callback runs inline
+		for _, fn := range thens {
+			fn(v)
+		}
 	}
-	c.thens = nil
 }
 
-// Then registers fn to run (as a kernel callback, at completion time)
-// once the completion completes; if it already has, fn is scheduled at
-// the current time. fn must not block.
+// Then registers fn to run once the completion completes. fn executes
+// in kernel context at completion time, inline from Complete (or
+// immediately, if the completion is already done): it must not block
+// (no Sleep/Wait/Acquire), but may schedule events, complete other
+// completions, and push to queues.
 func (c *Completion) Then(fn func(v any)) {
 	if c.done {
-		v := c.val
-		c.k.After(0, func() { fn(v) })
+		fn(c.val)
 		return
 	}
 	c.thens = append(c.thens, fn)
@@ -74,16 +104,17 @@ func (c *Completion) CompleteAfter(d Duration, v any) {
 // times, and waiters proceed when the count reaches zero. It is used
 // for fence semantics (wait for all outstanding PUT acknowledgements).
 type Counter struct {
-	k       *Kernel
-	name    string
-	pending int
-	waiters []*Proc
+	k         *Kernel
+	name      string
+	waitState string
+	pending   int
+	waiters   []*Proc
 }
 
 // NewCounter returns a counter expecting n arrivals. n may be zero, in
 // which case Wait returns immediately.
 func NewCounter(k *Kernel, name string, n int) *Counter {
-	return &Counter{k: k, name: name, pending: n}
+	return &Counter{k: k, name: name, waitState: "waiting on counter " + name, pending: n}
 }
 
 // Add registers n more expected arrivals.
@@ -102,7 +133,7 @@ func (c *Counter) Arrive() {
 		for _, p := range c.waiters {
 			c.k.schedule(c.k.now, p, nil)
 		}
-		c.waiters = nil
+		c.waiters = c.waiters[:0]
 	}
 }
 
@@ -110,6 +141,6 @@ func (c *Counter) Arrive() {
 func (c *Counter) Wait(p *Proc) {
 	for c.pending > 0 {
 		c.waiters = append(c.waiters, p)
-		p.park("waiting on counter " + c.name)
+		p.park(c.waitState)
 	}
 }

@@ -4,11 +4,13 @@ package sim
 // kernel's strict one-at-a-time handoff discipline. A Proc's methods
 // may only be called from its own body.
 type Proc struct {
-	k      *Kernel
-	name   string
-	resume chan struct{}
-	state  string // diagnostic: what the process is blocked on
-	daemon bool   // service loop; ignored by deadlock detection
+	k        *Kernel
+	name     string
+	seq      uint64 // spawn order; fixes Shutdown's kill order
+	resume   chan struct{}
+	state    string // diagnostic: what the process is blocked on
+	daemon   bool   // service loop; ignored by deadlock detection
+	poisoned bool   // Shutdown in progress: unwind instead of running
 }
 
 // Name returns the process name given at Spawn time.
@@ -22,9 +24,15 @@ func (p *Proc) Now() Time { return p.k.now }
 
 // park hands control back to the kernel and blocks until resumed.
 func (p *Proc) park(state string) {
+	if p.poisoned {
+		panic(poisonPill{})
+	}
 	p.state = state
 	p.k.parked <- parkMsg{p: p}
 	<-p.resume
+	if p.poisoned {
+		panic(poisonPill{})
+	}
 	p.state = "running"
 }
 
@@ -54,7 +62,7 @@ func (p *Proc) Wait(c *Completion) {
 		return
 	}
 	c.waiters = append(c.waiters, p)
-	p.park("waiting on " + c.name)
+	p.park(c.waitState)
 }
 
 // WaitAll blocks until every completion in cs is complete.

@@ -1,26 +1,30 @@
 package sim
 
 // Queue is an unbounded FIFO mailbox connecting producers (processes
-// or kernel callbacks) to consuming processes. It is the delivery
-// point for simulated network messages: the fabric schedules a Push at
-// a message's arrival time, and a dispatcher process loops on Pop.
+// or kernel callbacks) to consumers. It is the delivery point for
+// simulated network messages: the fabric schedules a Push at a
+// message's arrival time, and either a dispatcher process loops on Pop
+// or a callback engine drains it via Notify/TryPop.
 type Queue[T any] struct {
-	k       *Kernel
-	name    string
-	items   []T
-	waiters []*Completion
-	pushes  int64
-	maxLen  int
+	k        *Kernel
+	name     string
+	popState string // precomputed park diagnostic
+	items    []T    // live window is items[head:]
+	head     int
+	waiters  []*Proc // processes parked in Pop
+	notify   func()  // callback consumer hook, invoked after each Push
+	pushes   int64
+	maxLen   int
 }
 
 // NewQueue returns an empty queue. The name appears in deadlock
 // diagnostics.
 func NewQueue[T any](k *Kernel, name string) *Queue[T] {
-	return &Queue[T]{k: k, name: name}
+	return &Queue[T]{k: k, name: name, popState: "pop " + name}
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Pushes reports the total number of items ever pushed.
 func (q *Queue[T]) Pushes() int64 { return q.pushes }
@@ -28,40 +32,67 @@ func (q *Queue[T]) Pushes() int64 { return q.pushes }
 // MaxLen reports the high-water mark of the queue length.
 func (q *Queue[T]) MaxLen() int { return q.maxLen }
 
+// Notify registers fn to run (in kernel context, inline) after every
+// Push. It is the handoff-free consumer path: a callback engine reacts
+// to fn by draining the queue with TryPop, leaving any backlog queued
+// — so Len/MaxLen keep measuring real residency — without a parked
+// process per queue. fn must not block.
+func (q *Queue[T]) Notify(fn func()) { q.notify = fn }
+
 // Push appends v and wakes one waiting consumer, if any. It never
 // blocks and is safe to call from kernel callbacks.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
 	q.pushes++
-	if len(q.items) > q.maxLen {
-		q.maxLen = len(q.items)
+	if n := q.Len(); n > q.maxLen {
+		q.maxLen = n
 	}
 	if len(q.waiters) > 0 {
-		c := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		c.Complete(nil)
+		p := q.waiters[0]
+		n := copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:n]
+		q.k.schedule(q.k.now, p, nil)
 	}
+	if q.notify != nil {
+		q.notify()
+	}
+}
+
+// take removes and returns the oldest item; the queue must be
+// non-empty. The backing array is reused once the window drains.
+func (q *Queue[T]) take() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release for GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 >= len(q.items) {
+		// Compact a long-lived window so a never-empty queue does not
+		// grow its backing array without bound.
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
 }
 
 // Pop removes and returns the oldest item, blocking p until one is
 // available.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
-		c := NewCompletion(q.k, "pop "+q.name)
-		q.waiters = append(q.waiters, c)
-		p.Wait(c)
+	for q.Len() == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park(q.popState)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	return q.take()
 }
 
 // TryPop removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryPop() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.take(), true
 }

@@ -7,13 +7,15 @@ package sim
 //
 // Release may be called from kernel callbacks as well as processes
 // (it never blocks), which lets asynchronous protocol steps free
-// hardware they held.
+// hardware they held. Kernel callbacks acquire via AcquireC.
 type Resource struct {
-	k        *Kernel
-	name     string
-	capacity int
-	inUse    int
-	queue    []*resWaiter
+	k         *Kernel
+	name      string
+	parkState string // precomputed park diagnostic
+	capacity  int
+	inUse     int
+	queue     []resWaiter
+	queueHead int
 
 	// Accounting.
 	acquires  int64
@@ -22,8 +24,11 @@ type Resource struct {
 	busyTime  Duration
 }
 
+// resWaiter is one queued acquirer: a parked process, or a callback to
+// grant the slot to (the handoff-free path).
 type resWaiter struct {
-	c     *Completion
+	p     *Proc
+	fn    func()
 	since Time
 }
 
@@ -33,7 +38,7 @@ func NewResource(k *Kernel, name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive: " + name)
 	}
-	return &Resource{k: k, name: name, capacity: capacity}
+	return &Resource{k: k, name: name, parkState: "acquire " + name, capacity: capacity}
 }
 
 // Name returns the resource name.
@@ -50,24 +55,55 @@ func (r *Resource) accumulate() {
 	r.busyUntil = r.k.now
 }
 
+func (r *Resource) queueLen() int { return len(r.queue) - r.queueHead }
+
+func (r *Resource) pushWaiter(w resWaiter) { r.queue = append(r.queue, w) }
+
+func (r *Resource) popWaiter() resWaiter {
+	w := r.queue[r.queueHead]
+	r.queue[r.queueHead] = resWaiter{}
+	r.queueHead++
+	if r.queueHead == len(r.queue) {
+		r.queue = r.queue[:0]
+		r.queueHead = 0
+	}
+	return w
+}
+
 // Acquire blocks p until a slot is available and takes it.
 func (r *Resource) Acquire(p *Proc) {
 	r.acquires++
-	if r.inUse < r.capacity && len(r.queue) == 0 {
+	if r.inUse < r.capacity && r.queueLen() == 0 {
 		r.accumulate()
 		r.inUse++
 		return
 	}
-	w := &resWaiter{c: NewCompletion(r.k, "acquire "+r.name), since: r.k.now}
-	r.queue = append(r.queue, w)
-	p.Wait(w.c)
-	r.totalWait += r.k.now - w.since
+	since := r.k.now
+	r.pushWaiter(resWaiter{p: p, since: since})
+	p.park(r.parkState)
+	r.totalWait += r.k.now - since
 	// The releasing side transferred the slot to us: inUse unchanged.
+}
+
+// AcquireC takes a slot on behalf of a kernel callback: fn runs —
+// holding the slot — as soon as one is available, immediately when the
+// resource is free, otherwise as a kernel callback when a Release
+// grants it (FIFO with process acquirers). fn must not block; the slot
+// is held until a matching Release.
+func (r *Resource) AcquireC(fn func()) {
+	r.acquires++
+	if r.inUse < r.capacity && r.queueLen() == 0 {
+		r.accumulate()
+		r.inUse++
+		fn()
+		return
+	}
+	r.pushWaiter(resWaiter{fn: fn, since: r.k.now})
 }
 
 // TryAcquire takes a slot if one is free, reporting whether it did.
 func (r *Resource) TryAcquire() bool {
-	if r.inUse < r.capacity && len(r.queue) == 0 {
+	if r.inUse < r.capacity && r.queueLen() == 0 {
 		r.accumulate()
 		r.acquires++
 		r.inUse++
@@ -81,10 +117,14 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: release of idle resource " + r.name)
 	}
-	if len(r.queue) > 0 {
-		w := r.queue[0]
-		r.queue = r.queue[1:]
-		w.c.Complete(nil)
+	if r.queueLen() > 0 {
+		w := r.popWaiter()
+		if w.p != nil {
+			r.k.schedule(r.k.now, w.p, nil)
+		} else {
+			r.totalWait += r.k.now - w.since
+			r.k.schedule(r.k.now, nil, w.fn)
+		}
 		return // slot transferred; inUse unchanged
 	}
 	r.accumulate()

@@ -163,30 +163,9 @@ func (m *Machine) spawnDispatchers(nd *Node) {
 			}
 		})
 	}
-	// The DMA dispatcher is the NIC's DMA engine: it services RDMA
-	// descriptors with no CPU involvement.
-	m.K.SpawnDaemon(fmt.Sprintf("node%d.dmadisp", nd.ID), func(p *sim.Proc) {
-		for {
-			raw := port.DMA.Pop(p)
-			switch op := raw.(type) {
-			case *dmaGet:
-				m.serveDMAGet(p, nd, op)
-			case *dmaPut:
-				m.serveDMAPut(p, nd, op)
-			case *dmaResp:
-				op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
-				t0 := p.Now()
-				p.Sleep(m.Prof.RDMARecvCost)
-				// Queue residency at the initiator NIC plus the
-				// completion service itself.
-				op.span.Phase(telemetry.PhaseRDMARecv, op.arrived, t0)
-				op.span.Phase(telemetry.PhaseRDMARecv, t0, p.Now())
-				op.done.Complete(op.val)
-			default:
-				panic(fmt.Sprintf("transport: node %d: bad DMA op %T", nd.ID, raw))
-			}
-		}
-	})
+	// The NIC's DMA engine services RDMA descriptors with no CPU
+	// involvement; it runs as kernel callbacks, not a process.
+	m.startDMAEngine(nd)
 }
 
 // SendAM injects an active message from node src toward dst, charging

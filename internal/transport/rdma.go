@@ -84,11 +84,13 @@ func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, s
 	lat := p.Now()
 	p.Sleep(m.Prof.RDMAExtraLatency)
 	span.Phase(telemetry.PhaseRDMALatency, lat, p.Now())
-	if _, nack := done.Value().(Nack); nack {
+	val := done.Value()
+	m.K.Recycle(done) // fully consumed: no reference survives this call
+	if _, nack := val.(Nack); nack {
 		m.noteNack("get")
 		return nil, false
 	}
-	return done.Value().([]byte), true
+	return val.([]byte), true
 }
 
 // RDMAPut performs a one-sided write of data to raddr in dst's memory.
@@ -126,56 +128,129 @@ func (m *Machine) noteNack(op string) {
 	m.Tel.Add("xlupc_rdma_nacks_total", `op="`+op+`"`, 1)
 }
 
-func (m *Machine) serveDMAGet(p *sim.Proc, nd *Node, op *dmaGet) {
-	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
-	t0 := p.Now()
-	p.Sleep(m.Prof.RDMATargetCost)
-	// Queue residency behind earlier descriptors plus the engine's
-	// service time — all DMA-engine occupancy, no CPU.
-	op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
-	op.span.Phase(telemetry.PhaseDMATarget, t0, p.Now())
-	if !nd.Pins.TouchOK(op.base, p.Now()) {
-		m.nackOrPanic(p, nd, op.initiator, op.base, op.done, op.span)
+// dmaEngine is a node's NIC DMA engine: it services RDMA descriptors
+// with no CPU involvement, one at a time, entirely as kernel callbacks
+// — the handoff-free replacement for the parked dispatcher process
+// (two channel rendezvous per hop) the engine used to be. Descriptors
+// wait in the port's DMA queue while the engine is busy, so queue
+// telemetry keeps measuring real residency.
+type dmaEngine struct {
+	m    *Machine
+	nd   *Node
+	port *fabric.Port
+	busy bool
+}
+
+func (m *Machine) startDMAEngine(nd *Node) {
+	e := &dmaEngine{m: m, nd: nd, port: m.Fab.Port(nd.ID)}
+	e.port.DMA.Notify(e.kick)
+}
+
+// kick reacts to a descriptor arriving on the DMA queue. Service
+// starts as a fresh kernel event at the current time — not inline in
+// the delivery event — preserving the event interleaving (and thus TX
+// arbitration order) of a process dispatcher woken by the push.
+func (e *dmaEngine) kick() {
+	if e.busy {
 		return
 	}
-	data := nd.Mem.ReadAlloc(op.raddr, op.size)
-	tx := m.Fab.Port(nd.ID).TX
-	tx.Acquire(p)
-	resp := &dmaResp{done: op.done, val: data, span: op.span}
-	resp.arrived = m.Fab.Inject(p, nd.ID, op.initiator, m.Prof.RDMADescBytes+op.size, fabric.ClassDMA, resp)
-	tx.Release()
-	resp.sent = p.Now()
+	e.busy = true
+	e.m.K.After(0, e.serveNext)
 }
 
-// nackOrPanic handles an RDMA touch of unregistered memory: a NACK
-// under limited pinning, a crash under pin-everything (where it can
-// only be a runtime bug).
-func (m *Machine) nackOrPanic(p *sim.Proc, nd *Node, initiator int, base mem.Addr, done *sim.Completion, span *telemetry.Span) {
-	if nd.Pins.Policy() != mem.PinLimited {
-		panic(fmt.Sprintf("transport: node %d: RDMA access to unpinned region %#x under pin-all", nd.ID, base))
+// serveNext starts service of the oldest queued descriptor, or idles
+// the engine when none is pending. Each service chain re-enters here
+// when its descriptor is fully injected/completed.
+func (e *dmaEngine) serveNext() {
+	raw, ok := e.port.DMA.TryPop()
+	if !ok {
+		e.busy = false
+		return
 	}
-	tx := m.Fab.Port(nd.ID).TX
-	tx.Acquire(p)
-	resp := &dmaResp{done: done, val: Nack{}, span: span}
-	resp.arrived = m.Fab.Inject(p, nd.ID, initiator, m.Prof.RDMADescBytes, fabric.ClassDMA, resp)
-	tx.Release()
-	resp.sent = p.Now()
+	switch op := raw.(type) {
+	case *dmaGet:
+		e.serveGet(op)
+	case *dmaPut:
+		e.servePut(op)
+	case *dmaResp:
+		e.serveResp(op)
+	default:
+		panic(fmt.Sprintf("transport: node %d: bad DMA op %T", e.nd.ID, raw))
+	}
 }
 
-func (m *Machine) serveDMAPut(p *sim.Proc, nd *Node, op *dmaPut) {
+func (e *dmaEngine) serveGet(op *dmaGet) {
+	m, k := e.m, e.m.K
 	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
-	t0 := p.Now()
-	p.Sleep(m.Prof.RDMATargetCost)
-	op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
-	op.span.Phase(telemetry.PhaseDMATarget, t0, p.Now())
-	if !nd.Pins.TouchOK(op.base, p.Now()) {
-		if nd.Pins.Policy() != mem.PinLimited {
-			panic(fmt.Sprintf("transport: node %d: RDMA write to unpinned region %#x under pin-all", nd.ID, op.base))
+	t0 := k.Now()
+	k.After(m.Prof.RDMATargetCost, func() {
+		// Queue residency behind earlier descriptors plus the engine's
+		// service time — all DMA-engine occupancy, no CPU.
+		op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
+		op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
+		if !e.nd.Pins.TouchOK(op.base, k.Now()) {
+			// A NACK under limited pinning, a crash under pin-everything
+			// (where it can only be a runtime bug).
+			if e.nd.Pins.Policy() != mem.PinLimited {
+				panic(fmt.Sprintf("transport: node %d: RDMA access to unpinned region %#x under pin-all", e.nd.ID, op.base))
+			}
+			e.sendResp(op.initiator, m.Prof.RDMADescBytes,
+				&dmaResp{done: op.done, val: Nack{}, span: op.span})
+			return
 		}
-		m.noteNack("put")
-		op.done.Complete(Nack{})
-		return
-	}
-	nd.Mem.Write(op.raddr, op.data)
-	op.done.Complete(nil)
+		data := e.nd.Mem.ReadAlloc(op.raddr, op.size)
+		e.sendResp(op.initiator, m.Prof.RDMADescBytes+op.size,
+			&dmaResp{done: op.done, val: data, span: op.span})
+	})
+}
+
+// sendResp streams an RDMA completion back to the initiator: acquire
+// the node's TX port (FIFO with every other sender on the node), hold
+// it through serialization, then move on to the next descriptor.
+func (e *dmaEngine) sendResp(dst int, wire int, resp *dmaResp) {
+	tx := e.port.TX
+	tx.AcquireC(func() {
+		e.m.Fab.InjectC(e.nd.ID, dst, wire, fabric.ClassDMA, resp, func(arrive sim.Time) {
+			resp.arrived = arrive
+			tx.Release()
+			resp.sent = e.m.K.Now()
+			e.serveNext()
+		})
+	})
+}
+
+func (e *dmaEngine) servePut(op *dmaPut) {
+	m, k := e.m, e.m.K
+	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
+	t0 := k.Now()
+	k.After(m.Prof.RDMATargetCost, func() {
+		op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
+		op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
+		if !e.nd.Pins.TouchOK(op.base, k.Now()) {
+			if e.nd.Pins.Policy() != mem.PinLimited {
+				panic(fmt.Sprintf("transport: node %d: RDMA write to unpinned region %#x under pin-all", e.nd.ID, op.base))
+			}
+			m.noteNack("put")
+			op.done.Complete(Nack{})
+			e.serveNext()
+			return
+		}
+		e.nd.Mem.Write(op.raddr, op.data)
+		op.done.Complete(nil)
+		e.serveNext()
+	})
+}
+
+func (e *dmaEngine) serveResp(op *dmaResp) {
+	m, k := e.m, e.m.K
+	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
+	t0 := k.Now()
+	k.After(m.Prof.RDMARecvCost, func() {
+		// Queue residency at the initiator NIC plus the completion
+		// service itself.
+		op.span.Phase(telemetry.PhaseRDMARecv, op.arrived, t0)
+		op.span.Phase(telemetry.PhaseRDMARecv, t0, k.Now())
+		op.done.Complete(op.val)
+		e.serveNext()
+	})
 }
