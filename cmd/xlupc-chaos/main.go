@@ -1,0 +1,87 @@
+// Command xlupc-chaos runs the fault-injection degradation sweeps: a
+// DIS stressmark plus the small-message microbenchmarks at a range of
+// packet-loss rates, over the reliable-delivery layer, on the GM and
+// LAPI transport models. It reports cache hit rate, GET/PUT latency,
+// the cache's execution-time improvement, hazard/retry counters and
+// the stressmark's self-verification checksum per loss rate.
+//
+// The checksum must be identical at every loss rate — the address
+// cache's RDMA fast path staying correct under an unreliable fabric is
+// the experiment's claim — and the command exits nonzero if it is not.
+// All hazards derive from the seed, so two invocations with the same
+// flags produce byte-identical output.
+//
+// Usage:
+//
+//	xlupc-chaos                                   # both transports, default losses
+//	xlupc-chaos -profile gm -mark field -losses 0,0.01,0.05 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xlupc/internal/bench"
+	"xlupc/internal/transport"
+)
+
+func main() {
+	mark := flag.String("mark", "pointer", "DIS stressmark: pointer, update, neighborhood or field")
+	profName := flag.String("profile", "both", "transport profile: gm, lapi or both")
+	threads := flag.Int("threads", 8, "UPC threads")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	lossList := flag.String("losses", "0,0.005,0.01,0.02,0.05", "comma-separated packet-loss rates")
+	seed := flag.Int64("seed", 1, "simulation seed (drives workload and every injected fault)")
+	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
+	flag.Parse()
+	bench.SetParallelism(*parallel)
+
+	var losses []float64
+	for _, s := range strings.Split(*lossList, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 || v >= 1 {
+			fmt.Fprintf(os.Stderr, "xlupc-chaos: bad loss rate %q\n", s)
+			os.Exit(2)
+		}
+		losses = append(losses, v)
+	}
+	if len(losses) == 0 {
+		fmt.Fprintln(os.Stderr, "xlupc-chaos: no loss rates")
+		os.Exit(2)
+	}
+
+	sc := bench.Scale{Threads: *threads, Nodes: *nodes}
+	ok := true
+	run := func(name string) {
+		prof := transport.ByName(name)
+		if prof == nil {
+			fmt.Fprintf(os.Stderr, "xlupc-chaos: unknown profile %q\n", name)
+			os.Exit(2)
+		}
+		pts := bench.PrintChaos(os.Stdout, *mark, prof, sc, losses, *seed)
+		for _, pt := range pts[1:] {
+			if pt.Checksum != pts[0].Checksum {
+				fmt.Fprintf(os.Stderr, "xlupc-chaos: %s/%s: checksum diverged at loss %g: %x vs %x\n",
+					*mark, name, pt.Loss, pt.Checksum, pts[0].Checksum)
+				ok = false
+			}
+		}
+		fmt.Println()
+	}
+	if *profName == "both" {
+		run("gm")
+		run("lapi")
+	} else {
+		run(*profName)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -80,6 +80,10 @@ func main() {
 		fmt.Fprintf(w, "%14s peak pinned entries: %d\n", mark, peaks[mark])
 	}
 
+	section("Reliability: RDMA NACKs and chaos counters by transport",
+		"NACK/invalidate/fallback keeps pin-starved runs correct; reliable delivery absorbs 2% loss (see xlupc-chaos for curves)")
+	bench.PrintReliability(w, *seed)
+
 	section("SVD metadata footprint (§2.1)",
 		"directory replicas stay O(objects) per node; the rejected full table is O(nodes x objects)")
 	bench.PrintFootprint(w)

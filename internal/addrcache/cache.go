@@ -191,11 +191,14 @@ func (c *Cache) evict() {
 	c.stats.Evictions++
 }
 
-// Remove drops the entry for k if present.
+// Remove drops the entry for k if present. Callers remove entries
+// proven stale (an RDMA NACK from a deregistered target), so a hit
+// here counts as an invalidation.
 func (c *Cache) Remove(k Key) {
 	if e, ok := c.m[k]; ok {
 		c.unlink(e)
 		delete(c.m, k)
+		c.stats.Invalidations++
 	}
 }
 

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"xlupc/internal/core"
+	"xlupc/internal/dis"
+	"xlupc/internal/fault"
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+	"xlupc/internal/stats"
+	"xlupc/internal/transport"
+)
+
+// ChaosFaults maps a headline loss rate to a full hazard mix: drops at
+// the given rate, corruption and duplication at half of it, occasional
+// extra latency, and periodic NIC stalls whose likelihood scales with
+// the loss. loss <= 0 returns the zero Config — no hazards, but the
+// reliable-delivery layer still runs (its pure overhead point).
+func ChaosFaults(loss float64) fault.Config {
+	if loss <= 0 {
+		return fault.Config{}
+	}
+	stallProb := loss * 10
+	if stallProb > 1 {
+		stallProb = 1
+	}
+	return fault.Config{
+		Drop:      loss,
+		Corrupt:   loss / 2,
+		Duplicate: loss / 2,
+		Delay:     loss * 2,
+		DelayMax:  30 * sim.Us,
+
+		StallEvery: 2 * sim.Ms,
+		StallProb:  stallProb,
+		StallMax:   150 * sim.Us,
+	}
+}
+
+// ChaosPoint is one loss-rate measurement of a degradation curve.
+type ChaosPoint struct {
+	Loss        float64
+	HitRate     float64 // address-cache hit rate of the cached run
+	GetUs       float64 // mean small-message cached GET latency, µs
+	PutUs       float64 // mean small-message cached PUT latency, µs
+	Improvement float64 // stressmark improvement of the cache, %
+	Checksum    uint64  // stressmark self-verification value
+	Elapsed     sim.Time
+
+	// Hazards applied and reliability work performed (cached run).
+	Drops         int64
+	Corrupts      int64
+	Dups          int64
+	Retransmits   int64
+	DupSuppressed int64
+}
+
+// runChaosMark runs one stressmark under the given fault config and
+// returns its stats plus the combined self-verification checksum.
+func runChaosMark(fn dis.Func, sc Scale, prof *transport.Profile, cc core.CacheConfig, fc *fault.Config, seed int64) (core.RunStats, uint64) {
+	rt, err := core.NewRuntime(core.Config{
+		Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: cc, Seed: seed,
+		Fault: fc,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	p := dis.Default(sc.Threads)
+	checks := make([]uint64, sc.Threads)
+	st, err := rt.Run(func(t *core.Thread) { checks[t.ID()] = fn(t, p) })
+	if err != nil {
+		panic(fmt.Sprintf("bench: chaos run failed: %v", err))
+	}
+	return st, dis.Checksum(checks)
+}
+
+// ChaosSweep measures a degradation curve: the stressmark and the
+// small-message microbenchmarks at each loss rate, all over the
+// reliable-delivery layer. Every point's checksum must match the
+// loss-free one — the fast path staying correct is the experiment's
+// whole claim — and a cache-on/cache-off divergence panics outright.
+func ChaosSweep(mark string, prof *transport.Profile, sc Scale, losses []float64, seed int64) []ChaosPoint {
+	fn, err := dis.ByName(mark)
+	if err != nil {
+		panic(err)
+	}
+	pts := make([]ChaosPoint, len(losses))
+	parfor(len(losses), func(i int) {
+		fc := ChaosFaults(losses[i])
+		z, zsum := runChaosMark(fn, sc, prof, core.NoCache(), &fc, seed)
+		w, wsum := runChaosMark(fn, sc, prof, core.DefaultCache(), &fc, seed)
+		if zsum != wsum {
+			panic(fmt.Sprintf("bench: %s at loss %g: checksum changed by cache: %x vs %x",
+				mark, losses[i], zsum, wsum))
+		}
+		mo := MicroOpts{Prof: prof, Size: 8, Reps: 12, Warm: 3, Seed: seed,
+			ForcePutCache: true, Fault: &fc}
+		get := MicroLatency(OpGet, true, mo)
+		put := MicroLatency(OpPut, true, mo)
+		pts[i] = ChaosPoint{
+			Loss:        losses[i],
+			HitRate:     w.Cache.HitRate(),
+			GetUs:       get.Mean(),
+			PutUs:       put.Mean(),
+			Improvement: stats.Improvement(z.Elapsed.Usecs(), w.Elapsed.Usecs()),
+			Checksum:    wsum,
+			Elapsed:     w.Elapsed,
+
+			Drops:         w.NetDrops,
+			Corrupts:      w.NetCorrupts,
+			Dups:          w.NetDups,
+			Retransmits:   w.Retransmits,
+			DupSuppressed: w.DupSuppressed,
+		}
+	})
+	return pts
+}
+
+// PrintChaos emits one degradation-curve table and returns its points.
+func PrintChaos(w io.Writer, mark string, prof *transport.Profile, sc Scale, losses []float64, seed int64) []ChaosPoint {
+	pts := ChaosSweep(mark, prof, sc, losses, seed)
+	fmt.Fprintf(w, "# Chaos — %s on %s, %s: cache behaviour vs loss rate (reliable delivery on)\n",
+		mark, prof.Name, sc)
+	fmt.Fprintf(w, "%8s %9s %9s %9s %10s %7s %8s %6s %6s %8s %17s\n",
+		"loss", "hit-rate", "get(us)", "put(us)", "improv(%)",
+		"drops", "corrupt", "dup", "retx", "dupsupp", "checksum")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%8.3f %9.2f %9.2f %9.2f %10.1f %7d %8d %6d %6d %8d %17x\n",
+			pt.Loss, pt.HitRate, pt.GetUs, pt.PutUs, pt.Improvement,
+			pt.Drops, pt.Corrupts, pt.Dups, pt.Retransmits, pt.DupSuppressed, pt.Checksum)
+	}
+	return pts
+}
+
+// RelRow is one transport's row of the reliability table: NACK traffic
+// from a pin-starved workload plus the chaos counters of a lossy run.
+type RelRow struct {
+	Transport     string
+	RDMANacks     int64 // NACKs from the pin-starved run
+	Invalidations int64 // stale cache entries dropped on NACK
+	Drops         int64 // remaining columns: lossy chaos run
+	Corrupts      int64
+	Dups          int64
+	Retransmits   int64
+	DupSuppressed int64
+	AcksSent      int64
+}
+
+// ReliabilityTable measures the failure-handling machinery per
+// transport: a limited-pinning rotation that forces RDMA NACKs and
+// cache invalidations, and a pointer run at 2% loss exercising the
+// reliable-delivery layer.
+func ReliabilityTable(seed int64) []RelRow {
+	profs := []*transport.Profile{transport.GM(), transport.LAPI()}
+	rows := make([]RelRow, len(profs))
+	parfor(len(profs), func(i int) {
+		prof := profs[i]
+		nack := runNackChurn(prof, seed)
+		fc := ChaosFaults(0.02)
+		chaos, _ := runChaosMark(dis.Pointer, Scale{Threads: 8, Nodes: 4}, prof,
+			core.DefaultCache(), &fc, seed)
+		rows[i] = RelRow{
+			Transport:     prof.Name,
+			RDMANacks:     nack.RDMANacks,
+			Invalidations: nack.Cache.Invalidations,
+			Drops:         chaos.NetDrops,
+			Corrupts:      chaos.NetCorrupts,
+			Dups:          chaos.NetDups,
+			Retransmits:   chaos.Retransmits,
+			DupSuppressed: chaos.DupSuppressed,
+			AcksSent:      chaos.AcksSent,
+		}
+	})
+	return rows
+}
+
+// runNackChurn rotates GETs across more arrays than the registration
+// budget holds, so cached base addresses keep going stale and the
+// NACK→invalidate→AM-fallback path fires continuously.
+func runNackChurn(prof *transport.Profile, seed int64) core.RunStats {
+	const threads, nodes, arrays, elems = 8, 4, 6, 64
+	chunk := core.NewLayout(threads, threads/nodes, 8, elems/threads, elems).NodeChunkBytes(0)
+	rt, err := core.NewRuntime(core.Config{
+		Threads: threads, Nodes: nodes, Profile: prof, Cache: core.DefaultCache(), Seed: seed,
+		Pin: &core.PinConfig{Policy: mem.PinLimited, MaxTotal: int(chunk) + 1},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	st, err := rt.Run(func(t *core.Thread) {
+		var as []*core.SharedArray
+		for i := 0; i < arrays; i++ {
+			a := t.AllAlloc(fmt.Sprintf("A%d", i), elems, 8, elems/threads)
+			for j := int64(0); j < elems; j++ {
+				if a.Owner(j) == t.ID() {
+					t.PutUint64(a.At(j), uint64(i*1000+int(j)))
+				}
+			}
+			as = append(as, a)
+		}
+		t.Barrier()
+		for round := 0; round < 3; round++ {
+			for _, a := range as {
+				for j := int64(0); j < elems; j += 7 {
+					t.GetUint64(a.At(j))
+				}
+			}
+		}
+		t.Barrier()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return st
+}
+
+// PrintReliability emits the per-transport reliability table (the
+// xlupc-report section behind the NACK and chaos counters).
+func PrintReliability(w io.Writer, seed int64) []RelRow {
+	rows := ReliabilityTable(seed)
+	fmt.Fprintf(w, "%10s %10s %12s %8s %9s %6s %6s %9s %7s\n",
+		"transport", "nacks", "invalidated", "drops", "corrupt", "dup", "retx", "dupsupp", "acks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10s %10d %12d %8d %9d %6d %6d %9d %7d\n",
+			r.Transport, r.RDMANacks, r.Invalidations,
+			r.Drops, r.Corrupts, r.Dups, r.Retransmits, r.DupSuppressed, r.AcksSent)
+	}
+	return rows
+}

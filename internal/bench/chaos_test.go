@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"xlupc/internal/transport"
+)
+
+// The degradation sweep must be a pure function of its inputs: two
+// invocations, byte for byte.
+func TestPrintChaosDeterministic(t *testing.T) {
+	losses := []float64{0, 0.02}
+	sc := Scale{Threads: 8, Nodes: 4}
+	var a, b bytes.Buffer
+	PrintChaos(&a, "pointer", transport.GM(), sc, losses, 7)
+	PrintChaos(&b, "pointer", transport.GM(), sc, losses, 7)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same seed, different output:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// Checksums must not move with the loss rate, and a lossy point must
+// actually have injected something.
+func TestChaosChecksumsStableAcrossLoss(t *testing.T) {
+	for _, prof := range []*transport.Profile{transport.GM(), transport.LAPI()} {
+		pts := ChaosSweep("update", prof, Scale{Threads: 8, Nodes: 4}, []float64{0, 0.03}, 5)
+		if pts[1].Checksum != pts[0].Checksum {
+			t.Fatalf("%s: checksum moved with loss: %x vs %x", prof.Name, pts[0].Checksum, pts[1].Checksum)
+		}
+		if pts[0].Drops != 0 || pts[0].Retransmits != 0 {
+			t.Fatalf("%s: loss-free point injected hazards: %+v", prof.Name, pts[0])
+		}
+		if pts[1].Drops == 0 || pts[1].Retransmits == 0 {
+			t.Fatalf("%s: lossy point injected nothing: %+v", prof.Name, pts[1])
+		}
+	}
+}
+
+// The reliability table must show both failure paths working: NACKs
+// with cache invalidations from pin starvation, and retransmissions
+// from loss.
+func TestReliabilityTable(t *testing.T) {
+	rows := ReliabilityTable(7)
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RDMANacks == 0 || r.Invalidations == 0 {
+			t.Errorf("%s: pin churn produced no NACK/invalidation (%+v)", r.Transport, r)
+		}
+		if r.Drops == 0 || r.Retransmits == 0 || r.AcksSent == 0 {
+			t.Errorf("%s: chaos run did no reliability work (%+v)", r.Transport, r)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"xlupc/internal/core"
+	"xlupc/internal/fault"
 	"xlupc/internal/sim"
 	"xlupc/internal/stats"
 	"xlupc/internal/transport"
@@ -41,6 +42,9 @@ type MicroOpts struct {
 	// how the paper obtained the (negative) LAPI PUT curve before
 	// deciding to disable it.
 	ForcePutCache bool
+	// Fault, when non-nil, runs the microbenchmark over a faulty wire
+	// with reliable delivery (degradation curves).
+	Fault *fault.Config
 }
 
 // MicroLatency measures the mean per-operation latency (microseconds)
@@ -59,6 +63,7 @@ func MicroLatency(op Op, cached bool, o MicroOpts) stats.Sample {
 	}
 	rt, err := core.NewRuntime(core.Config{
 		Threads: 2, Nodes: 2, Profile: o.Prof, Cache: cc, Seed: o.Seed,
+		Fault: o.Fault,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"xlupc/internal/addrcache"
+	"xlupc/internal/fault"
 	"xlupc/internal/mem"
 	"xlupc/internal/telemetry"
 	"xlupc/internal/trace"
@@ -89,6 +90,16 @@ type Config struct {
 	// a centralized master/slave barrier (ablation only: O(n) messages
 	// serialized through node 0).
 	FlatBarrier bool
+	// Fault, when non-nil, injects deterministic wire hazards
+	// (drop/corrupt/duplicate/delay, NIC stalls) keyed by Seed, and
+	// implies the reliable-delivery layer. Nil keeps the perfectly
+	// reliable wire with zero added events.
+	Fault *fault.Config
+	// Rel overrides the reliable-delivery parameters (retransmit
+	// timeout, retry budget, framing overhead). Setting it enables the
+	// layer even with Fault nil — the zero-loss reliability overhead
+	// experiment.
+	Rel *transport.RelConfig
 }
 
 // PinConfig overrides memory-registration behaviour.

@@ -129,6 +129,51 @@ func TestPinLimitedPutNackRetries(t *testing.T) {
 	})
 }
 
+// The GET-side mirror of the PUT NACK test: cached GETs through stale
+// entries must be NACKed by the deregistered target, invalidate the
+// stale cache entry, fall back to the AM path, and still return the
+// right data.
+func TestPinLimitedGetNackFallsBack(t *testing.T) {
+	const threads, nodes, arrays, elems = 4, 2, 4, 32
+	c := cfg(threads, nodes, transport.GM(), DefaultCache())
+	chunk := NewLayout(threads, threads/nodes, 8, elems/threads, elems).NodeChunkBytes(0)
+	c.Pin = &PinConfig{Policy: mem.PinLimited, MaxTotal: int(chunk) + 1}
+	st := mustRun(t, c, func(th *Thread) {
+		var as []*SharedArray
+		for i := 0; i < arrays; i++ {
+			a := th.AllAlloc(fmt.Sprintf("A%d", i), elems, 8, elems/threads)
+			// Element 17 is remote for thread 0 (block 2 → node 1).
+			if a.Owner(17) == th.ID() {
+				th.PutUint64(a.At(17), uint64(500+i))
+			}
+			as = append(as, a)
+		}
+		th.Barrier()
+		if th.ID() == 0 {
+			// Round 1 populates the cache per array; allocating and
+			// touching the later arrays evicts the earlier pins, so
+			// round 2's RDMA fast path hits deregistered regions.
+			for round := 0; round < 2; round++ {
+				for i, a := range as {
+					if got := th.GetUint64(a.At(17)); got != uint64(500+i) {
+						t.Errorf("round %d: A%d[17] = %d", round, i, got)
+					}
+				}
+			}
+		}
+		th.Barrier()
+	})
+	if st.RDMANacks == 0 {
+		t.Fatal("no GET was NACKed; the fallback path went unexercised")
+	}
+	if st.Cache.Invalidations == 0 {
+		t.Fatal("NACKs occurred but no stale cache entry was invalidated")
+	}
+	if st.PinEvictions == 0 {
+		t.Fatal("registration budget never forced an eviction")
+	}
+}
+
 // A per-object registration limit (the 32 MB LAPI handle cap) makes an
 // oversized array permanently uncacheable: every access falls back to
 // the AM path, correctly, and the cache never stores an entry for it.

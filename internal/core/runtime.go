@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"xlupc/internal/addrcache"
+	"xlupc/internal/fault"
 	"xlupc/internal/sim"
 	"xlupc/internal/svd"
 	"xlupc/internal/telemetry"
@@ -76,6 +77,17 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	cfg.Profile = cfg.effectiveProfile()
 	m := transport.NewMachine(k, cfg.Profile, cfg.Nodes)
 	m.Tel = cfg.Telemetry
+	if cfg.Fault != nil || cfg.Rel != nil {
+		rc := transport.DefaultRelConfig()
+		if cfg.Rel != nil {
+			rc = *cfg.Rel
+		}
+		var inj *fault.Injector
+		if cfg.Fault != nil {
+			inj = fault.New(cfg.Seed, *cfg.Fault)
+		}
+		m.EnableChaos(inj, rc)
+	}
 	rt := &Runtime{cfg: cfg, K: k, M: m, tel: cfg.Telemetry, putCache: cfg.putCacheEnabled()}
 	rt.nodes = make([]*nodeState, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -139,6 +151,13 @@ func (rt *Runtime) Run(body func(t *Thread)) (RunStats, error) {
 		})
 	}
 	err := rt.K.Run()
+	// A packet that exhausted its retry budget stopped the kernel; the
+	// typed failure outranks whatever secondary state Run reported, and
+	// the deferred Shutdown unwinds the stranded processes — a clean
+	// abort instead of a deadlock.
+	if te := rt.M.FatalError(); te != nil {
+		err = te
+	}
 	return rt.stats(), err
 }
 
@@ -170,6 +189,16 @@ type RunStats struct {
 	RegTime      sim.Time // virtual time spent registering memory
 	DeregTime    sim.Time // virtual time spent deregistering memory
 	RDMANacks    int64    // RDMA operations NACKed by a deregistered target
+
+	// Fault injection and reliable delivery (all zero when chaos is off).
+	NetDrops      int64 // packets vanished on the wire
+	NetCorrupts   int64 // packets delivered corrupted (discarded at the NIC)
+	NetDups       int64 // packets delivered twice by the fabric
+	NetDelayed    int64 // packets given extra wire latency
+	NetStalled    int64 // arrivals held by a NIC-stall window
+	Retransmits   int64 // reliable-layer re-injections
+	DupSuppressed int64 // replayed packets discarded by target-side dedup
+	AcksSent      int64 // reliable-layer acknowledgements
 }
 
 func (rt *Runtime) stats() RunStats {
@@ -197,6 +226,16 @@ func (rt *Runtime) stats() RunStats {
 		st.DeregTime += ns.tn.Pins.DeregTime
 	}
 	st.RDMANacks = rt.M.NackCount()
+	fs := rt.M.Fab.FaultStats()
+	st.NetDrops = fs.Drops
+	st.NetCorrupts = fs.Corrupts
+	st.NetDups = fs.Dups
+	st.NetDelayed = fs.Delayed
+	st.NetStalled = fs.Stalled
+	rs := rt.M.RelStats()
+	st.Retransmits = rs.Retransmits
+	st.DupSuppressed = rs.DupSuppressed
+	st.AcksSent = rs.Acks
 	for _, th := range rt.threads {
 		st.Gets += th.gets
 		st.Puts += th.puts
@@ -224,6 +263,18 @@ func (rt *Runtime) syncRegistry(st RunStats) {
 	tel.Add("xlupc_net_bytes_total", "", st.NetBytes)
 	tel.Add("xlupc_am_ops_total", "", st.AMOps)
 	tel.Add("xlupc_rdma_ops_total", "", st.RDMAOps)
+	// Fault and reliability metrics only exist when chaos is configured,
+	// keeping exporter output bit-identical to main when it is off.
+	if rt.cfg.Fault != nil || rt.cfg.Rel != nil {
+		tel.Add("xlupc_fault_drops_total", "", st.NetDrops)
+		tel.Add("xlupc_fault_corrupts_total", "", st.NetCorrupts)
+		tel.Add("xlupc_fault_dups_total", "", st.NetDups)
+		tel.Add("xlupc_fault_delays_total", "", st.NetDelayed)
+		tel.Add("xlupc_fault_stalls_total", "", st.NetStalled)
+		tel.Add("xlupc_rel_retransmits_total", "", st.Retransmits)
+		tel.Add("xlupc_rel_dup_suppressed_total", "", st.DupSuppressed)
+		tel.Add("xlupc_rel_acks_total", "", st.AcksSent)
+	}
 	for _, ns := range rt.nodes {
 		node := `node="` + strconv.Itoa(ns.id) + `"`
 		if ns.cache != nil {

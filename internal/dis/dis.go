@@ -131,6 +131,19 @@ func ByName(name string) (Func, error) {
 	return nil, fmt.Errorf("dis: unknown stressmark %q", name)
 }
 
+// Checksum combines per-thread checksum contributions (slot i holding
+// thread i's return value) into the run's self-verification value.
+// The combination is position-sensitive but timing-independent: two
+// runs of the same workload must agree regardless of caching, transport
+// or injected faults.
+func Checksum(checks []uint64) uint64 {
+	var sum uint64
+	for i, c := range checks {
+		sum ^= c + uint64(i)*0x9E37
+	}
+	return sum
+}
+
 // hash derives the workload hash for a parameter set (splitmix64 over
 // the salted input).
 func (p Params) hash(x uint64) uint64 { return splitmix64(x ^ p.Salt*0x9E3779B9) }

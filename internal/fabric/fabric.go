@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"xlupc/internal/fault"
 	"xlupc/internal/sim"
 )
 
@@ -46,6 +47,21 @@ type Port struct {
 	DMA *sim.Queue[any]
 }
 
+// Corrupted wraps a payload whose integrity check fails at the
+// receiving NIC. The delivery hook (or handler) is expected to discard
+// it; with no reliable-delivery layer installed a corrupted packet
+// would wedge the run, so corruption requires one.
+type Corrupted struct{ Inner any }
+
+// FaultStats counts the hazards the injector actually applied.
+type FaultStats struct {
+	Drops    int64 // packets vanished on the wire
+	Corrupts int64 // packets delivered with a failing checksum
+	Dups     int64 // packets delivered twice
+	Delayed  int64 // packets given extra wire latency
+	Stalled  int64 // arrivals held by a NIC-stall window
+}
+
 // Fabric is the simulated interconnect instance.
 type Fabric struct {
 	k     *sim.Kernel
@@ -53,9 +69,17 @@ type Fabric struct {
 	wire  WireModel
 	ports []*Port
 
+	// Fault injection (nil = perfectly reliable wire).
+	inj *fault.Injector
+	// Delivery hook: when set, arrivals are handed to it instead of
+	// being pushed onto the destination port's queues (the reliable
+	// transport interposes here for seq/ACK/dedup handling).
+	hook func(dst int, class Class, m any)
+
 	// Accounting.
 	messages int64
 	bytes    int64
+	faults   FaultStats
 }
 
 // New builds a fabric over the given topology and wire model.
@@ -91,6 +115,21 @@ func (f *Fabric) Port(n int) *Port { return f.ports[n] }
 func (f *Fabric) Messages() int64 { return f.messages }
 func (f *Fabric) Bytes() int64    { return f.bytes }
 
+// SetInjector installs (or, with nil, removes) a fault injector.
+// Packets are keyed by their injection ordinal — the value of the
+// fabric's message counter at Inject time — so retransmissions face
+// independent hazards, like fresh packets on a real lossy wire.
+func (f *Fabric) SetInjector(inj *fault.Injector) { f.inj = inj }
+
+// SetDeliveryHook routes every arrival through fn instead of the
+// destination port's AM/DMA queues. The reliable transport installs
+// its seq/ACK/dedup handling here; fn runs in kernel context at the
+// arrival time and must not block.
+func (f *Fabric) SetDeliveryHook(fn func(dst int, class Class, m any)) { f.hook = fn }
+
+// FaultStats reports the hazards applied so far.
+func (f *Fabric) FaultStats() FaultStats { return f.faults }
+
 // Inject sends a message of size wire bytes from src to dst, arriving
 // on dst's queue for the given class. The calling process must already
 // hold src's TX port; Inject charges the serialization time (the
@@ -105,8 +144,9 @@ func (f *Fabric) Inject(p *sim.Proc, src, dst int, size int, class Class, m any)
 	}
 	f.messages++
 	f.bytes += int64(size)
+	seq := uint64(f.messages) // injection ordinal, fixed before the sleep
 	p.Sleep(f.wire.Serialize(size))
-	return f.deliver(src, dst, class, m)
+	return f.deliver(seq, src, dst, class, m)
 }
 
 // InjectC is Inject for kernel-callback senders (the DMA engine's
@@ -119,22 +159,62 @@ func (f *Fabric) InjectC(src, dst int, size int, class Class, m any, done func(a
 	}
 	f.messages++
 	f.bytes += int64(size)
+	seq := uint64(f.messages)
 	ser := f.wire.Serialize(size)
 	if ser <= 0 { // zero-width message: no serialization event
-		done(f.deliver(src, dst, class, m))
+		done(f.deliver(seq, src, dst, class, m))
 		return
 	}
 	f.k.After(ser, func() {
-		done(f.deliver(src, dst, class, m))
+		done(f.deliver(seq, src, dst, class, m))
 	})
 }
 
-// deliver schedules arrival of m at dst after the route latency and
-// returns the arrival time.
-func (f *Fabric) deliver(src, dst int, class Class, m any) sim.Time {
+// deliver applies any configured hazards to the packet and schedules
+// its arrival at dst after the route latency. It returns the nominal
+// (hazard-free) arrival time: senders pace themselves by it, and a
+// real sender cannot observe a drop or delay downstream of its NIC.
+func (f *Fabric) deliver(seq uint64, src, dst int, class Class, m any) sim.Time {
 	arrive := f.k.Now() + f.wire.Latency(f.topo, src, dst)
+	if f.inj == nil {
+		f.arriveAt(arrive, dst, class, m)
+		return arrive
+	}
+	d := f.inj.Decide(seq)
+	if d.Drop {
+		f.faults.Drops++
+		return arrive
+	}
+	at := arrive
+	if d.Delay > 0 {
+		f.faults.Delayed++
+		at += d.Delay
+	}
+	if clear := f.inj.StallClear(dst, at); clear > at {
+		f.faults.Stalled++
+		at = clear
+	}
+	pkt := m
+	if d.Corrupt {
+		f.faults.Corrupts++
+		pkt = Corrupted{Inner: m}
+	}
+	f.arriveAt(at, dst, class, pkt)
+	if d.Duplicate {
+		f.faults.Dups++
+		f.arriveAt(at+d.DupDelay, dst, class, pkt)
+	}
+	return arrive
+}
+
+// arriveAt schedules one physical arrival of m at dst.
+func (f *Fabric) arriveAt(at sim.Time, dst int, class Class, m any) {
 	port := f.ports[dst]
-	f.k.At(arrive, func() {
+	if hook := f.hook; hook != nil {
+		f.k.At(at, func() { hook(dst, class, m) })
+		return
+	}
+	f.k.At(at, func() {
 		switch class {
 		case ClassDMA:
 			port.DMA.Push(m)
@@ -142,5 +222,4 @@ func (f *Fabric) deliver(src, dst int, class Class, m any) sim.Time {
 			port.AM.Push(m)
 		}
 	})
-	return arrive
 }

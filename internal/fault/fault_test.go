@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"testing"
+
+	"xlupc/internal/sim"
+)
+
+// The injector must be a pure function of (seed, packet): identical
+// inputs give identical decisions, every time, in any order.
+func TestDecisionsDeterministic(t *testing.T) {
+	cfg := Config{Drop: 0.1, Corrupt: 0.05, Duplicate: 0.05, Delay: 0.2, DelayMax: 10 * sim.Us}
+	a, b := New(42, cfg), New(42, cfg)
+	// Query b backwards to prove order independence.
+	var da, db [1000]Decision
+	for i := 0; i < 1000; i++ {
+		da[i] = a.Decide(uint64(i))
+	}
+	for i := 999; i >= 0; i-- {
+		db[i] = b.Decide(uint64(i))
+	}
+	if da != db {
+		t.Fatal("same (seed, seq) produced different decisions")
+	}
+	c := New(43, cfg)
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		if c.Decide(uint64(i)) != da[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the seed changed nothing")
+	}
+}
+
+// Hazard frequencies must track the configured rates.
+func TestHazardRates(t *testing.T) {
+	const n = 200000
+	cfg := Config{Drop: 0.1, Corrupt: 0.05, Duplicate: 0.02, Delay: 0.2, DelayMax: 10 * sim.Us}
+	in := New(7, cfg)
+	var drops, corrupts, dups, delays int
+	for i := 0; i < n; i++ {
+		d := in.Decide(uint64(i))
+		if d.Drop {
+			drops++
+			continue // matches the short-circuit: others unmeasured
+		}
+		if d.Corrupt {
+			corrupts++
+		}
+		if d.Duplicate {
+			dups++
+			if d.DupDelay <= 0 || d.DupDelay > 1+cfg.DelayMax {
+				t.Fatalf("dup delay %v out of range", d.DupDelay)
+			}
+		}
+		if d.Delay > 0 {
+			delays++
+			if d.Delay > 1+cfg.DelayMax {
+				t.Fatalf("delay %v exceeds max", d.Delay)
+			}
+		}
+	}
+	check := func(name string, got int, want float64) {
+		rate := float64(got) / n
+		if rate < want*0.9 || rate > want*1.1 {
+			t.Errorf("%s rate %.4f, want ~%.4f", name, rate, want)
+		}
+	}
+	check("drop", drops, cfg.Drop)
+	// Non-drop hazards are only observable on surviving packets.
+	check("corrupt", corrupts, cfg.Corrupt*(1-cfg.Drop))
+	check("duplicate", dups, cfg.Duplicate*(1-cfg.Drop))
+	check("delay", delays, cfg.Delay*(1-cfg.Drop))
+}
+
+// The stall schedule is a pure function of (seed, node, window): every
+// query about the same instant agrees, stalls respect StallMax, and
+// distinct nodes get distinct schedules.
+func TestStallScheduleDeterministic(t *testing.T) {
+	cfg := Config{StallEvery: 1 * sim.Ms, StallProb: 0.5, StallMax: 200 * sim.Us}
+	in := New(11, cfg)
+	stalledSomewhere := false
+	differs := false
+	for w := 0; w < 200; w++ {
+		at := sim.Time(w) * cfg.StallEvery
+		c1, c2 := in.StallClear(3, at), in.StallClear(3, at)
+		if c1 != c2 {
+			t.Fatalf("window %d: schedule not pure: %v vs %v", w, c1, c2)
+		}
+		if c1 < at {
+			t.Fatalf("window %d: cleared before query time", w)
+		}
+		if c1 > at+cfg.StallMax+1 {
+			t.Fatalf("window %d: stall %v exceeds StallMax", w, c1-at)
+		}
+		if c1 > at {
+			stalledSomewhere = true
+		}
+		if in.StallClear(4, at) != c1 {
+			differs = true
+		}
+	}
+	if !stalledSomewhere {
+		t.Fatal("probability 0.5 never stalled in 200 windows")
+	}
+	if !differs {
+		t.Fatal("nodes 3 and 4 share an identical stall schedule")
+	}
+}
+
+// A stall must hold every packet arriving inside it until the same
+// clearing instant (that is what makes it a NIC stall rather than
+// per-packet jitter).
+func TestStallHoldsWholeWindow(t *testing.T) {
+	cfg := Config{StallEvery: 1 * sim.Ms, StallProb: 1, StallMax: 100 * sim.Us}
+	in := New(5, cfg)
+	start := 10 * cfg.StallEvery
+	end := in.StallClear(0, start)
+	if end <= start {
+		t.Fatal("probability 1 did not stall")
+	}
+	for off := sim.Time(1); off < end-start; off *= 2 {
+		if got := in.StallClear(0, start+off); got != end {
+			t.Fatalf("arrival at +%v clears at %v, want %v", off, got, end)
+		}
+	}
+	if got := in.StallClear(0, end+1); got != end+1 {
+		t.Fatal("stall did not clear after its end")
+	}
+}
+
+func TestNilAndZeroConfigSafe(t *testing.T) {
+	var in *Injector
+	if d := in.Decide(9); d != (Decision{}) {
+		t.Fatal("nil injector decided something")
+	}
+	if in.StallClear(0, 5) != 5 {
+		t.Fatal("nil injector stalled")
+	}
+	zero := New(1, Config{})
+	if zero.Config().Active() {
+		t.Fatal("zero config claims active")
+	}
+	for i := 0; i < 1000; i++ {
+		if d := zero.Decide(uint64(i)); d != (Decision{}) {
+			t.Fatal("zero config injected a hazard")
+		}
+	}
+	if zero.StallClear(2, 777) != 777 {
+		t.Fatal("zero config stalled")
+	}
+	if !(Config{Drop: 0.01}).Active() {
+		t.Fatal("drop-only config claims inactive")
+	}
+}

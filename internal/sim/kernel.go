@@ -13,6 +13,22 @@ type event struct {
 	seq uint64 // tie-breaker: FIFO among simultaneous events
 	p   *Proc  // non-nil: resume this process
 	fn  func() // non-nil: run this callback (must not block)
+	tm  *Timer // non-nil: cancellable (AfterTimer); skipped when cancelled
+}
+
+// Timer is the handle of a cancellable callback scheduled with
+// AfterTimer. Cancel prevents the callback from running; the event
+// loop discards a cancelled event without advancing the clock, so
+// timers that almost always get cancelled (retransmit timeouts, watch
+// dogs) never stretch a run's makespan.
+type Timer struct{ cancelled bool }
+
+// Cancel marks the timer dead. Idempotent and nil-safe; cancelling a
+// timer whose callback already ran is harmless.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.cancelled = true
+	}
 }
 
 // eventHeap is a hand-specialized 4-ary min-heap over []event, ordered
@@ -152,6 +168,23 @@ func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
 // After schedules fn to run d from now. See At for restrictions on fn.
 func (k *Kernel) After(d Duration, fn func()) { k.At(k.now+d, fn) }
 
+// AfterTimer schedules fn like After but returns a Timer handle whose
+// Cancel suppresses the callback. A cancelled event is dropped by the
+// event loop without advancing the clock — use this for timeouts that
+// are expected to be cancelled on the happy path (the reliable
+// transport's retransmit timers), where a plain After would leave the
+// run's final virtual time pinned to the last dead timeout.
+func (k *Kernel) AfterTimer(d Duration, fn func()) *Timer {
+	t := k.now + d
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", t, k.now))
+	}
+	tm := &Timer{}
+	k.seq++
+	k.heap.pushEv(event{t: t, seq: k.seq, fn: fn, tm: tm})
+	return tm
+}
+
 // Spawn creates a new process named name executing body and schedules
 // it to start at the current time. It may be called before Run or from
 // any process or callback during the run.
@@ -208,6 +241,16 @@ func (k *Kernel) spawn(name string, body func(p *Proc), daemon bool) *Proc {
 // any post-run inspection) is over.
 func (k *Kernel) Run() error {
 	for !k.stopped {
+		// Discard cancelled timers before inspecting the head: they
+		// must neither advance the clock nor hide an otherwise-drained
+		// queue from deadlock detection or the time limit.
+		for k.heap.Len() > 0 {
+			h := k.heap.peek()
+			if h.tm == nil || !h.tm.cancelled {
+				break
+			}
+			k.heap.popEv()
+		}
 		if k.heap.Len() == 0 {
 			for p := range k.procs {
 				if !p.daemon {
@@ -229,6 +272,10 @@ func (k *Kernel) Run() error {
 				nx := k.heap.peek()
 				if nx.fn == nil || nx.t != k.now {
 					break
+				}
+				if nx.tm != nil && nx.tm.cancelled {
+					k.heap.popEv()
+					continue
 				}
 				fn := nx.fn
 				k.heap.popEv()
@@ -288,26 +335,54 @@ func (k *Kernel) Shutdown() {
 	k.heap.ev = nil
 }
 
+// BlockedProc describes one process left parked at deadlock time: the
+// queue, resource or completion it is parked on (State, e.g. "acquire
+// node0.cpu", "pop nic2.am", "waiting on rdma-get") and the virtual
+// time it parked there — the stall onset, which is what timeout-bug
+// triage needs (the deadlock is only detected much later, when the
+// event queue finally drains).
+type BlockedProc struct {
+	Name  string
+	State string // what the process is parked on
+	Since Time   // virtual time the process parked
+}
+
 // DeadlockError reports the set of processes left blocked when the
 // event queue drained.
 type DeadlockError struct {
-	At      Time
-	Blocked []string // "name: state", sorted
+	At      Time          // virtual time the stall was detected
+	Blocked []string      // legacy "name: state" lines, sorted
+	Procs   []BlockedProc // full diagnostics, sorted by (Since, Name)
 }
 
 func (e *DeadlockError) Error() string {
+	lines := make([]string, 0, len(e.Procs))
+	for _, bp := range e.Procs {
+		lines = append(lines, fmt.Sprintf("%s: %s (parked since %v)", bp.Name, bp.State, bp.Since))
+	}
+	if len(lines) == 0 {
+		lines = e.Blocked
+	}
 	return fmt.Sprintf("sim: deadlock at %v; %d blocked processes:\n  %s",
-		e.At, len(e.Blocked), strings.Join(e.Blocked, "\n  "))
+		e.At, len(e.Blocked), strings.Join(lines, "\n  "))
 }
 
 func (k *Kernel) deadlock() error {
 	var blocked []string
+	var procs []BlockedProc
 	for p := range k.procs {
 		if p.daemon {
 			continue
 		}
 		blocked = append(blocked, p.name+": "+p.state)
+		procs = append(procs, BlockedProc{Name: p.name, State: p.state, Since: p.since})
 	}
 	sort.Strings(blocked)
-	return &DeadlockError{At: k.now, Blocked: blocked}
+	sort.Slice(procs, func(i, j int) bool {
+		if procs[i].Since != procs[j].Since {
+			return procs[i].Since < procs[j].Since
+		}
+		return procs[i].Name < procs[j].Name
+	})
+	return &DeadlockError{At: k.now, Blocked: blocked, Procs: procs}
 }

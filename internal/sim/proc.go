@@ -9,6 +9,7 @@ type Proc struct {
 	seq      uint64 // spawn order; fixes Shutdown's kill order
 	resume   chan struct{}
 	state    string // diagnostic: what the process is blocked on
+	since    Time   // virtual time the process last parked
 	daemon   bool   // service loop; ignored by deadlock detection
 	poisoned bool   // Shutdown in progress: unwind instead of running
 }
@@ -28,6 +29,7 @@ func (p *Proc) park(state string) {
 		panic(poisonPill{})
 	}
 	p.state = state
+	p.since = p.k.now
 	p.k.parked <- parkMsg{p: p}
 	<-p.resume
 	if p.poisoned {

@@ -37,6 +37,7 @@ const (
 	PhaseDMATarget    = "dma_target"   // target NIC DMA engine service
 	PhaseRDMARecv     = "rdma_recv"    // initiator NIC completion service
 	PhaseRDMALatency  = "rdma_latency" // transport's extra RDMA-mode latency
+	PhaseRetry        = "retry"        // reliable-delivery retransmission wait
 	PhaseOther        = "other"        // unattributed remainder
 )
 

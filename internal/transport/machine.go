@@ -56,6 +56,10 @@ type Machine struct {
 	rdmaCount int64 // RDMA operations issued
 	nacks     int64 // RDMA operations NACKed at the target
 
+	// rel is the reliable-delivery layer; nil (the default) keeps the
+	// original fire-and-forget wire with zero added events.
+	rel *reliability
+
 	// Tel is the run's telemetry hub; nil disables all recording at
 	// zero virtual-time cost (phase recording never sleeps).
 	Tel *telemetry.Telemetry
@@ -191,7 +195,11 @@ func (m *Machine) SendAMSpan(p *sim.Proc, src, dst int, id HandlerID, meta any, 
 	p.Sleep(m.Prof.SendOverhead)
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
-	msg.arrived = m.Fab.Inject(p, src, dst, msg.wire, fabric.ClassAM, msg)
+	if m.rel != nil {
+		msg.arrived = m.rel.inject(p, src, dst, msg.wire, fabric.ClassAM, msg, span)
+	} else {
+		msg.arrived = m.Fab.Inject(p, src, dst, msg.wire, fabric.ClassAM, msg)
+	}
 	tx.Release()
 	msg.sent = p.Now()
 	span.Phase(telemetry.PhaseSend, t0, msg.sent)

@@ -74,7 +74,11 @@ func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, s
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
 	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, done: done, span: span}
-	op.arrived = m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op)
+	if m.rel != nil {
+		op.arrived = m.rel.inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op, span)
+	} else {
+		op.arrived = m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op)
+	}
 	tx.Release()
 	op.sent = p.Now()
 	span.Phase(telemetry.PhaseRDMASetup, t0, op.sent)
@@ -112,7 +116,11 @@ func (m *Machine) RDMAPutSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, d
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
 	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, done: done, span: span}
-	op.arrived = m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op)
+	if m.rel != nil {
+		op.arrived = m.rel.inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op, span)
+	} else {
+		op.arrived = m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op)
+	}
 	tx.Release()
 	op.sent = p.Now()
 	span.Phase(telemetry.PhaseRDMASetup, t0, op.sent)
@@ -209,13 +217,18 @@ func (e *dmaEngine) serveGet(op *dmaGet) {
 // it through serialization, then move on to the next descriptor.
 func (e *dmaEngine) sendResp(dst int, wire int, resp *dmaResp) {
 	tx := e.port.TX
+	finish := func(arrive sim.Time) {
+		resp.arrived = arrive
+		tx.Release()
+		resp.sent = e.m.K.Now()
+		e.serveNext()
+	}
 	tx.AcquireC(func() {
-		e.m.Fab.InjectC(e.nd.ID, dst, wire, fabric.ClassDMA, resp, func(arrive sim.Time) {
-			resp.arrived = arrive
-			tx.Release()
-			resp.sent = e.m.K.Now()
-			e.serveNext()
-		})
+		if rl := e.m.rel; rl != nil {
+			rl.injectC(e.nd.ID, dst, wire, fabric.ClassDMA, resp, resp.span, finish)
+			return
+		}
+		e.m.Fab.InjectC(e.nd.ID, dst, wire, fabric.ClassDMA, resp, finish)
 	})
 }
 

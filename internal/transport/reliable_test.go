@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"xlupc/internal/fault"
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+)
+
+// chaosMachine is newTestMachine plus the reliable layer and an
+// optional injector.
+func chaosMachine(t *testing.T, nodes int, fc fault.Config, rc RelConfig) (*sim.Kernel, *Machine) {
+	t.Helper()
+	k, m := newTestMachine(t, GM(), nodes)
+	var inj *fault.Injector
+	if fc.Active() {
+		inj = fault.New(99, fc)
+	}
+	m.EnableChaos(inj, rc)
+	return k, m
+}
+
+// With the reliable layer on but no hazards, traffic flows with zero
+// retransmissions and every packet ACKed exactly once.
+func TestReliableZeroLossNoRetransmits(t *testing.T) {
+	k, m := chaosMachine(t, 2, fault.Config{}, DefaultRelConfig())
+	const pings = 20
+	got := 0
+	m.Handle(hPing, func(p *sim.Proc, n *Node, msg *Msg) { got++ })
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < pings; i++ {
+			m.SendAM(p, 0, 1, hPing, nil, nil, 0)
+		}
+		p.Sleep(2 * sim.Ms) // all deliveries land well before this
+		k.Stop()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != pings {
+		t.Fatalf("delivered %d of %d", got, pings)
+	}
+	rs := m.RelStats()
+	if rs.Retransmits != 0 || rs.DupSuppressed != 0 || rs.CorruptDrops != 0 {
+		t.Fatalf("clean wire did reliability work: %+v", rs)
+	}
+	if rs.Acks != pings {
+		t.Fatalf("acks %d, want %d", rs.Acks, pings)
+	}
+	if m.FatalError() != nil {
+		t.Fatalf("unexpected failure: %v", m.FatalError())
+	}
+}
+
+// Under heavy drop/corrupt/duplicate hazards, every AM must still be
+// delivered exactly once, via retransmission and dedup.
+func TestReliableDeliversExactlyOnceUnderChaos(t *testing.T) {
+	fc := fault.Config{Drop: 0.2, Corrupt: 0.1, Duplicate: 0.2, Delay: 0.2, DelayMax: 5 * sim.Us}
+	k, m := chaosMachine(t, 2, fc, DefaultRelConfig())
+	const pings = 60
+	seen := make(map[int]int)
+	type meta struct{ i int }
+	m.Handle(hPing, func(p *sim.Proc, n *Node, msg *Msg) { seen[msg.Meta.(*meta).i]++ })
+	k.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i < pings; i++ {
+			m.SendAM(p, 0, 1, hPing, &meta{i: i}, nil, 0)
+		}
+	})
+	// Let the retransmit machinery drain; the run ends when only
+	// daemons remain.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FatalError() != nil {
+		t.Fatalf("budget exhausted unexpectedly: %v", m.FatalError())
+	}
+	for i := 0; i < pings; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("message %d handled %d times", i, seen[i])
+		}
+	}
+	rs := m.RelStats()
+	fs := m.Fab.FaultStats()
+	if fs.Drops == 0 || fs.Corrupts == 0 || fs.Dups == 0 {
+		t.Fatalf("hazards never fired: %+v", fs)
+	}
+	if rs.Retransmits == 0 {
+		t.Fatal("drops happened but nothing was retransmitted")
+	}
+	if rs.DupSuppressed == 0 {
+		t.Fatal("duplicates happened but none were suppressed")
+	}
+}
+
+// RDMA GET/PUT must survive the same hazards: payloads correct, each
+// completion fired exactly once (a replayed dmaResp would panic on
+// double-completion of a recycled completion).
+func TestReliableRDMAUnderChaos(t *testing.T) {
+	fc := fault.Config{Drop: 0.15, Corrupt: 0.1, Duplicate: 0.2, Delay: 0.2, DelayMax: 5 * sim.Us}
+	k, m := chaosMachine(t, 2, fc, DefaultRelConfig())
+	nd := m.Nodes[1]
+	base := nd.Mem.Alloc(256)
+	if _, err := nd.Pins.Pin(base, 256, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("initiator", func(p *sim.Proc) {
+		for i := 0; i < 25; i++ {
+			want := []byte{byte(i), byte(i + 1), byte(i + 2), byte(i + 3)}
+			ack := m.RDMAPut(p, 0, 1, base, base+mem.Addr(4*i), want)
+			p.Wait(ack)
+			k.Recycle(ack)
+			got, ok := m.RDMAGet(p, 0, 1, base, base+mem.Addr(4*i), 4)
+			if !ok {
+				t.Errorf("op %d: unexpected NACK", i)
+				continue
+			}
+			if string(got) != string(want) {
+				t.Errorf("op %d: got %v want %v", i, got, want)
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FatalError() != nil {
+		t.Fatalf("budget exhausted unexpectedly: %v", m.FatalError())
+	}
+	if m.RelStats().Retransmits == 0 {
+		t.Fatal("chaos run needed no retransmissions; hazards not exercised")
+	}
+}
+
+// Total loss must exhaust the retry budget and surface as a typed
+// TransportError that stops the kernel — fail-fast, not deadlock.
+func TestRetryBudgetExhaustionFailsFast(t *testing.T) {
+	fc := fault.Config{Drop: 1} // the wire eats everything
+	rc := RelConfig{RTO: 10 * sim.Us, MaxRetries: 3, HeaderBytes: 8}
+	k, m := chaosMachine(t, 2, fc, rc)
+	m.Handle(hPing, func(p *sim.Proc, n *Node, msg *Msg) { t.Error("delivered through Drop=1") })
+	k.Spawn("sender", func(p *sim.Proc) {
+		m.SendAM(p, 0, 1, hPing, nil, nil, 0)
+		p.Sleep(sim.Ms) // park; the failure must end the run regardless
+	})
+	err := k.Run() // Stop() path: Run itself returns nil
+	if err != nil {
+		t.Fatalf("kernel error: %v", err)
+	}
+	te := m.FatalError()
+	if te == nil {
+		t.Fatal("no TransportError after total loss")
+	}
+	if te.Src != 0 || te.Dst != 1 || te.Attempts != rc.MaxRetries+1 {
+		t.Fatalf("wrong failure: %+v", te)
+	}
+	if !strings.Contains(te.Error(), "undeliverable") {
+		t.Fatalf("unhelpful message: %v", te)
+	}
+	// Backoff: 10+20+40+80 µs of timeouts, plus wire time.
+	if now := k.Now(); now < 150*sim.Us || now > 400*sim.Us {
+		t.Fatalf("failed at %v; backoff schedule wrong", now)
+	}
+	k.Shutdown()
+}
+
+// Cancelled retransmit timers must not stretch the run's makespan: the
+// virtual end time of an acked exchange is the exchange itself, not
+// the dead timeout far behind it.
+func TestAckedTimersDoNotInflateElapsed(t *testing.T) {
+	k, m := chaosMachine(t, 2, fault.Config{}, RelConfig{RTO: 50 * sim.Ms, MaxRetries: 2, HeaderBytes: 8})
+	m.Handle(hPing, func(p *sim.Proc, n *Node, msg *Msg) {})
+	k.Spawn("sender", func(p *sim.Proc) {
+		m.SendAM(p, 0, 1, hPing, nil, nil, 0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if now := k.Now(); now >= 50*sim.Ms {
+		t.Fatalf("run stretched to the dead RTO: %v", now)
+	}
+}
