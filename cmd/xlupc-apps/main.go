@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"xlupc/internal/apps"
+	"xlupc/internal/bench"
 	"xlupc/internal/core"
 	"xlupc/internal/sim"
 	"xlupc/internal/transport"
@@ -61,6 +62,10 @@ func main() {
 	prof := transport.ByName(*profName)
 	if prof == nil {
 		fmt.Fprintf(os.Stderr, "xlupc-apps: unknown profile %q\n", *profName)
+		os.Exit(2)
+	}
+	if err := bench.ValidateScale(*threads, *nodes); err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-apps: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Printf("# application kernels, %d threads / %d nodes on %s\n", *threads, *nodes, prof.Name)

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -39,15 +40,22 @@ func main() {
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 
+	if err := bench.ValidateScale(*threads, *nodes); err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-chaos: %v\n", err)
+		os.Exit(2)
+	}
 	var losses []float64
 	for _, s := range strings.Split(*lossList, ",") {
 		s = strings.TrimSpace(s)
 		if s == "" {
 			continue
 		}
+		// NaN slips through plain range comparisons (both are false), so
+		// reject it explicitly: a NaN rate would silently corrupt every
+		// injector draw.
 		v, err := strconv.ParseFloat(s, 64)
-		if err != nil || v < 0 || v >= 1 {
-			fmt.Fprintf(os.Stderr, "xlupc-chaos: bad loss rate %q\n", s)
+		if err != nil || math.IsNaN(v) || v < 0 || v >= 1 {
+			fmt.Fprintf(os.Stderr, "xlupc-chaos: bad loss rate %q (want 0 <= rate < 1)\n", s)
 			os.Exit(2)
 		}
 		losses = append(losses, v)

@@ -7,6 +7,7 @@
 //	xlupc-micro -op put            # Figure 6, PUT panel
 //	xlupc-micro -absolute          # Figure 7 (absolute small-message GET latency)
 //	xlupc-micro -missoverhead      # §6 miss-overhead claim
+//	xlupc-micro -coalesce          # split-phase batching vs blocking, per batch size
 package main
 
 import (
@@ -24,11 +25,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	absolute := flag.Bool("absolute", false, "emit Figure 7 (absolute latencies) instead")
 	miss := flag.Bool("missoverhead", false, "emit the miss-overhead measurement instead")
+	coalesce := flag.Bool("coalesce", false, "emit the split-phase coalescing batch-size figure instead")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	flag.Parse()
 	bench.SetParallelism(*parallel)
 
 	switch {
+	case *coalesce:
+		bench.PrintCoalesce(os.Stdout, *reps, *seed)
 	case *miss:
 		fmt.Println("# Miss overhead: cache machinery enabled but every lookup missing")
 		for _, prof := range []*transport.Profile{transport.GM(), transport.LAPI()} {

@@ -46,6 +46,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xlupc-top: unknown profile %q\n", *profName)
 		os.Exit(2)
 	}
+	if err := bench.ValidateScale(*threads, *nodes); err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-top: %v\n", err)
+		os.Exit(2)
+	}
 	sc := bench.Scale{Threads: *threads, Nodes: *nodes}
 
 	fmt.Printf("# %s on %s, %d threads / %d nodes — phase attribution of operation time\n",

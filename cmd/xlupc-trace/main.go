@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"xlupc/internal/bench"
 	"xlupc/internal/core"
 	"xlupc/internal/dis"
 	"xlupc/internal/trace"
@@ -59,6 +60,10 @@ func main() {
 	prof := transport.ByName(*profName)
 	if prof == nil {
 		fmt.Fprintf(os.Stderr, "xlupc-trace: unknown profile %q\n", *profName)
+		os.Exit(2)
+	}
+	if err := bench.ValidateScale(*threads, *nodes); err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-trace: %v\n", err)
 		os.Exit(2)
 	}
 

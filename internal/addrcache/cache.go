@@ -149,6 +149,15 @@ func (c *Cache) Lookup(k Key) (mem.Addr, bool) {
 	return e.addr, true
 }
 
+// Contains reports whether k is resident, without touching the hit or
+// miss counters or the entry's recency. The runtime uses it to skip
+// re-inserting addresses that arrived several times on one coalesced
+// reply frame.
+func (c *Cache) Contains(k Key) bool {
+	_, ok := c.m[k]
+	return ok
+}
+
 // Insert records the base address for k, evicting if necessary.
 // Re-inserting an existing key updates it in place (the address of a
 // live object never changes under the pin-everything policy, but the

@@ -257,3 +257,86 @@ func TestHitRateZeroLookups(t *testing.T) {
 		t.Fatal("zero Stats must report zero rate and lookups")
 	}
 }
+
+func TestReInsertRefreshesRecency(t *testing.T) {
+	// Re-inserting a resident key must make it MRU, not leave it at its
+	// old position: a piggybacked base that arrives again is as fresh as
+	// a lookup hit, and evicting it next would throw away the hottest
+	// translation.
+	c := New(2, LRU, 1)
+	c.Insert(key(1, 0), 0x10)
+	c.Insert(key(2, 0), 0x20)
+	c.Insert(key(1, 0), 0x11) // refresh: key 2 becomes the LRU
+	c.Insert(key(3, 0), 0x30) // evicts exactly one entry
+	if _, ok := c.Lookup(key(1, 0)); !ok {
+		t.Fatal("re-inserted key was evicted; recency not refreshed")
+	}
+	if _, ok := c.Lookup(key(2, 0)); ok {
+		t.Fatal("stale key survived; re-insert did not move to MRU")
+	}
+}
+
+func TestInvalidateHandleCountsOnce(t *testing.T) {
+	// Every dropped entry is counted exactly once, across repeated
+	// invalidations of the same handle and mixed-handle populations.
+	c := New(10, LRU, 1)
+	for n := int32(0); n < 3; n++ {
+		c.Insert(key(9, n), mem.Addr(0x90+n))
+	}
+	c.Insert(key(8, 0), 0x80)
+	if got := c.InvalidateHandle(9); got != 3 {
+		t.Fatalf("first invalidation dropped %d, want 3", got)
+	}
+	if got := c.InvalidateHandle(9); got != 0 {
+		t.Fatalf("second invalidation dropped %d, want 0", got)
+	}
+	if got := c.InvalidateHandle(7); got != 0 {
+		t.Fatalf("absent handle dropped %d, want 0", got)
+	}
+	if inv := c.Stats().Invalidations; inv != 3 {
+		t.Fatalf("invalidations stat = %d, want 3 (each entry once)", inv)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (unrelated handle intact)", c.Len())
+	}
+}
+
+func TestZeroCapacityCountsMisses(t *testing.T) {
+	// A capacity-0 cache stores nothing, but its lookups are still real
+	// lookups: the miss counter must advance or hit-rate reports from
+	// cache-off baselines read as 0/0 instead of all-miss.
+	c := New(0, LRU, 1)
+	c.Insert(key(1, 0), 0x10)
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Lookup(key(1, 0)); ok {
+			t.Fatal("zero-capacity cache returned a hit")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 5 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 5 misses / 0 hits", st)
+	}
+	if st.HitRate() != 0 {
+		t.Fatalf("hit rate = %v, want 0", st.HitRate())
+	}
+}
+
+func TestContainsDoesNotTouchStatsOrRecency(t *testing.T) {
+	// Contains is the piggyback filter's residency probe; it must not
+	// perturb hit/miss accounting or LRU order, or probing would both
+	// skew the measured hit rate and protect entries it only glanced at.
+	c := New(2, LRU, 1)
+	c.Insert(key(1, 0), 0x10)
+	c.Insert(key(2, 0), 0x20)
+	if !c.Contains(key(1, 0)) || c.Contains(key(3, 0)) {
+		t.Fatal("Contains residency answers wrong")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Contains touched stats: %+v", st)
+	}
+	c.Insert(key(3, 0), 0x30) // key 1 is still the LRU despite Contains
+	if _, ok := c.Lookup(key(1, 0)); ok {
+		t.Fatal("Contains refreshed recency; key 1 should have been evicted")
+	}
+}

@@ -127,8 +127,8 @@ func PrintChaos(w io.Writer, mark string, prof *transport.Profile, sc Scale, los
 		"loss", "hit-rate", "get(us)", "put(us)", "improv(%)",
 		"drops", "corrupt", "dup", "retx", "dupsupp", "checksum")
 	for _, pt := range pts {
-		fmt.Fprintf(w, "%8.3f %9.2f %9.2f %9.2f %10.1f %7d %8d %6d %6d %8d %17x\n",
-			pt.Loss, pt.HitRate, pt.GetUs, pt.PutUs, pt.Improvement,
+		fmt.Fprintf(w, "%8.3f %9.2f %9.2f %9.2f %s %7d %8d %6d %6d %8d %17x\n",
+			pt.Loss, pt.HitRate, pt.GetUs, pt.PutUs, fmtImprov(10, pt.Improvement),
 			pt.Drops, pt.Corrupts, pt.Dups, pt.Retransmits, pt.DupSuppressed, pt.Checksum)
 	}
 	return pts

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 
 	"xlupc/internal/core"
 	"xlupc/internal/dis"
@@ -23,6 +24,15 @@ func Fig7Sizes() []int {
 		s = append(s, b)
 	}
 	return s
+}
+
+// fmtImprov renders an improvement percentage w characters wide,
+// printing "n/a" for the degenerate zero-baseline case (NaN).
+func fmtImprov(w int, v float64) string {
+	if math.IsNaN(v) {
+		return fmt.Sprintf("%*s", w, "n/a")
+	}
+	return fmt.Sprintf("%*.1f", w, v)
 }
 
 // LatencyPoint is one (size, with/without cache) measurement.
@@ -58,7 +68,7 @@ func PrintFig6(w io.Writer, op Op, reps int, seed int64) ([]LatencyPoint, []Late
 	fmt.Fprintf(w, "# Figure 6 — xlupc_distr_%s latency improvement using the cache of SVD addresses\n", op)
 	fmt.Fprintf(w, "%12s %12s %12s\n", "size(B)", "GM(%)", "LAPI(%)")
 	for i := range gm {
-		fmt.Fprintf(w, "%12d %12.1f %12.1f\n", gm[i].Size, gm[i].Improvement, lapi[i].Improvement)
+		fmt.Fprintf(w, "%12d %s %s\n", gm[i].Size, fmtImprov(12, gm[i].Improvement), fmtImprov(12, lapi[i].Improvement))
 	}
 	return gm, lapi
 }
@@ -200,7 +210,7 @@ func PrintFig9(w io.Writer, prof *transport.Profile, scales []Scale, seed int64)
 	for i, sc := range scales {
 		fmt.Fprintf(w, "%14s", sc)
 		for j := range marks {
-			fmt.Fprintf(w, " %13.1f", pts[j*len(scales)+i].Improvement)
+			fmt.Fprintf(w, " %s", fmtImprov(13, pts[j*len(scales)+i].Improvement))
 		}
 		fmt.Fprintln(w)
 	}

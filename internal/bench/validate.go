@@ -1,0 +1,18 @@
+package bench
+
+import "fmt"
+
+// ValidateScale checks the thread/node counts the hybrid mapping
+// assumes: both positive, threads an exact multiple of nodes. The CLIs
+// call it up front so a bad -threads/-nodes pair fails with a clear
+// message instead of surfacing as a runtime construction error deep in
+// a sweep.
+func ValidateScale(threads, nodes int) error {
+	if threads <= 0 || nodes <= 0 {
+		return fmt.Errorf("need positive -threads (%d) and -nodes (%d)", threads, nodes)
+	}
+	if threads%nodes != 0 {
+		return fmt.Errorf("-threads (%d) must be a multiple of -nodes (%d): hybrid mode places threads/nodes UPC threads on every node", threads, nodes)
+	}
+	return nil
+}

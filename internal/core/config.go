@@ -100,6 +100,14 @@ type Config struct {
 	// layer even with Fault nil — the zero-loss reliability overhead
 	// experiment.
 	Rel *transport.RelConfig
+	// Coalesce, when non-nil, enables per-destination small-message
+	// coalescing for the split-phase API: eager AMs and RDMA
+	// descriptors issued through NbGet/NbPut park in a per-(src,dst)
+	// buffer and travel as one wire frame, flushed on a size threshold,
+	// a virtual-time timer, or a sync/fence. Nil (the default) keeps
+	// every message individual and the event stream bit-identical to a
+	// build without coalescing.
+	Coalesce *transport.CoalConfig
 }
 
 // PinConfig overrides memory-registration behaviour.

@@ -21,6 +21,59 @@ func cacheKey(h svd.Handle, node int) addrcache.Key {
 // a reply or ACK.
 const piggybackBytes = 8
 
+// maxPiggybackPairs caps how many extra (handle, base) pairs one reply
+// of a coalesced frame may carry beyond its own, bounding the
+// piggyback bytes a batch of misses adds to the wire.
+const maxPiggybackPairs = 4
+
+// addrPair is one piggybacked (handle, base) correlation. Replies
+// serviced from the same coalesced frame share the pairs they pinned,
+// so a single batch of misses pre-populates several cache entries at
+// the initiator.
+type addrPair struct {
+	H    svd.Handle
+	Base mem.Addr
+}
+
+// pairsFor shares a freshly advertised (handle, base) pair with the
+// other replies of the same coalesced frame and collects the pairs this
+// reply should carry (its own base travels in the reply header, not
+// here). extra is the total piggyback wire cost. For individual
+// messages (no frame scratch) it degenerates to the original
+// single-address accounting.
+func pairsFor(msg *transport.Msg, h svd.Handle, base mem.Addr) (pairs []addrPair, extra int) {
+	if base != 0 {
+		extra = piggybackBytes
+	}
+	if msg.Batch == nil {
+		return nil, extra
+	}
+	if msg.Batch.Val == nil {
+		msg.Batch.Val = &[]addrPair{}
+	}
+	acc := msg.Batch.Val.(*[]addrPair)
+	if base != 0 {
+		known := false
+		for _, pr := range *acc {
+			if pr.H == h {
+				known = true
+				break
+			}
+		}
+		if !known && len(*acc) < maxPiggybackPairs {
+			*acc = append(*acc, addrPair{H: h, Base: base})
+		}
+	}
+	for _, pr := range *acc {
+		if pr.H == h {
+			continue
+		}
+		pairs = append(pairs, pr)
+		extra += piggybackBytes
+	}
+	return pairs, extra
+}
+
 // --- Protocol message headers ------------------------------------------
 
 // getReq asks the target to read Size bytes at chunk offset Off of H
@@ -36,9 +89,10 @@ type getReq struct {
 // getRep carries the data (as payload) and optionally the base address
 // back to the initiator.
 type getRep struct {
-	H    svd.Handle
-	Base mem.Addr // 0: not piggybacked (pin failed or WantAddr false)
-	Done *sim.Completion
+	H     svd.Handle
+	Base  mem.Addr // 0: not piggybacked (pin failed or WantAddr false)
+	Done  *sim.Completion
+	Pairs []addrPair // extra piggybacked addresses from the same frame
 }
 
 // putReq carries PUT data (as payload) to the target.
@@ -46,7 +100,8 @@ type putReq struct {
 	H        svd.Handle
 	Off      int64
 	WantAddr bool
-	Fence    *sim.Counter // initiator thread's fence; Arrives on ACK
+	Fence    *sim.Counter    // initiator thread's fence; Arrives on ACK
+	Done     *sim.Completion // split-phase handle; nil for blocking PUTs
 }
 
 // putAck acknowledges a PUT, optionally piggybacking the base address
@@ -56,6 +111,8 @@ type putAck struct {
 	H     svd.Handle
 	Base  mem.Addr
 	Fence *sim.Counter
+	Done  *sim.Completion
+	Pairs []addrPair
 }
 
 // rts is the rendezvous request-to-send for large transfers: the
@@ -121,11 +178,8 @@ func (rt *Runtime) handleGetReq(p *sim.Proc, n *transport.Node, msg *transport.M
 	p.Sleep(sim.BytesTime(m.Size, rt.cfg.Profile.CopyByteTime))
 	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
 	data := n.Mem.ReadAlloc(cb.LocalBase+mem.Addr(m.Off), m.Size)
-	extra := 0
-	if base != 0 {
-		extra = piggybackBytes
-	}
-	rt.M.ReplyAMSpan(p, n.ID, msg.Src, hGetRep, &getRep{H: m.H, Base: base, Done: m.Done}, data, extra, msg.Span)
+	pairs, extra := pairsFor(msg, m.H, base)
+	rt.M.ReplyToSpan(p, msg, hGetRep, &getRep{H: m.H, Base: base, Done: m.Done, Pairs: pairs}, data, extra, msg.Span)
 }
 
 func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
@@ -135,13 +189,37 @@ func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.M
 	t0 := p.Now()
 	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
 	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
-	if m.Base != 0 && ns.cache != nil {
-		t0 = p.Now()
-		p.Sleep(rt.cfg.Profile.CacheInsertCost)
-		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
-		msg.Span.Phase(telemetry.PhaseCacheInsert, t0, p.Now())
-	}
+	rt.insertPiggyback(p, ns, msg.Src, m.H, m.Base, m.Pairs, msg.Span)
 	m.Done.Complete(msg.Payload)
+}
+
+// insertPiggyback fills the initiator's cache from a reply's
+// piggybacked addresses: the replier's own (handle, base), exactly as
+// the blocking protocol always has, plus any extra pairs accumulated
+// across the sub-messages of a coalesced frame. Every new entry pays
+// the insert cost; pairs already resident (an earlier reply of the same
+// frame filled them) are skipped without charge.
+func (rt *Runtime) insertPiggyback(p *sim.Proc, ns *nodeState, src int, own svd.Handle, base mem.Addr, pairs []addrPair, span *telemetry.Span) {
+	if ns.cache == nil || (base == 0 && len(pairs) == 0) {
+		return
+	}
+	t0 := p.Now()
+	if base != 0 {
+		p.Sleep(rt.cfg.Profile.CacheInsertCost)
+		ns.cache.Insert(cacheKey(own, src), base)
+	}
+	for _, pr := range pairs {
+		if pr.Base == 0 || pr.H == own {
+			continue
+		}
+		k := cacheKey(pr.H, src)
+		if ns.cache.Contains(k) {
+			continue
+		}
+		p.Sleep(rt.cfg.Profile.CacheInsertCost)
+		ns.cache.Insert(k, pr.Base)
+	}
+	span.Phase(telemetry.PhaseCacheInsert, t0, p.Now())
 }
 
 func (rt *Runtime) handlePutReq(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
@@ -164,23 +242,19 @@ func (rt *Runtime) handlePutReq(p *sim.Proc, n *transport.Node, msg *transport.M
 	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
 	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
 	n.Mem.Write(cb.LocalBase+mem.Addr(m.Off), msg.Payload)
-	extra := 0
-	if base != 0 {
-		extra = piggybackBytes
-	}
-	rt.M.ReplyAMSpan(p, n.ID, msg.Src, hPutAck, &putAck{H: m.H, Base: base, Fence: m.Fence}, nil, extra, msg.Span)
+	pairs, extra := pairsFor(msg, m.H, base)
+	rt.M.ReplyToSpan(p, msg, hPutAck,
+		&putAck{H: m.H, Base: base, Fence: m.Fence, Done: m.Done, Pairs: pairs}, nil, extra, msg.Span)
 }
 
 func (rt *Runtime) handlePutAck(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*putAck)
-	if m.Base != 0 && ns.cache != nil {
-		t0 := p.Now()
-		p.Sleep(rt.cfg.Profile.CacheInsertCost)
-		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
-		msg.Span.Phase(telemetry.PhaseCacheInsert, t0, p.Now())
-	}
+	rt.insertPiggyback(p, ns, msg.Src, m.H, m.Base, m.Pairs, msg.Span)
 	m.Fence.Arrive()
+	if m.Done != nil {
+		m.Done.Complete(nil)
+	}
 }
 
 func (rt *Runtime) handleRTS(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
@@ -354,7 +428,7 @@ func (t *Thread) putRun(a *SharedArray, idx int64, src []byte) {
 			data := append([]byte(nil), src...)
 			remote := t.rt.M.RDMAPutSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), data, span)
 			t.fence.Add(1)
-			t.watchPut(remote, a, rn, off, data, span)
+			t.watchPut(remote, a, rn, off, data, span, nil)
 			return
 		}
 	}
@@ -387,20 +461,24 @@ func (t *Thread) putRun(a *SharedArray, idx int64, src []byte) {
 	data := append([]byte(nil), src...)
 	remote := t.rt.M.RDMAPutSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), data, span)
 	t.fence.Add(1)
-	t.watchPut(remote, a, rn, off, data, span)
+	t.watchPut(remote, a, rn, off, data, span, nil)
 }
 
 // watchPut completes an asynchronous RDMA PUT under the thread's
-// fence. A NACK (the limited-pinning policy deregistered the region
-// mid-flight) drops the stale cache entry and reissues the write over
-// the active-message path from a helper process; the fence does not
-// release until the retry's ACK lands, so fence semantics survive
-// eviction races.
-func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off int64, data []byte, span *telemetry.Span) {
+// fence (and, for split-phase PUTs, under the handle's completion). A
+// NACK (the limited-pinning policy deregistered the region mid-flight)
+// drops the stale cache entry and reissues the write over the
+// active-message path from a helper process; neither the fence nor the
+// handle releases until the retry's ACK lands, so fence semantics
+// survive eviction races.
+func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off int64, data []byte, span *telemetry.Span, done *sim.Completion) {
 	f := t.fence
 	remote.Then(func(v any) {
 		if _, nack := v.(transport.Nack); !nack {
 			f.Arrive()
+			if done != nil {
+				done.Complete(nil)
+			}
 			return
 		}
 		if t.ns.cache != nil {
@@ -411,7 +489,7 @@ func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off in
 		t.rt.K.Spawn(fmt.Sprintf("put-retry %d", t.id), func(p *sim.Proc) {
 			p.Sleep(sim.BytesTime(len(data), prof.CopyByteTime))
 			t.rt.M.SendAMSpan(p, t.ns.id, rn, hPutReq,
-				&putReq{H: a.h, Off: off, WantAddr: false, Fence: f}, data, 0, span)
+				&putReq{H: a.h, Off: off, WantAddr: false, Fence: f, Done: done}, data, 0, span)
 		})
 	})
 }

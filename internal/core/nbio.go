@@ -1,0 +1,294 @@
+package core
+
+import (
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+	"xlupc/internal/telemetry"
+	"xlupc/internal/transport"
+)
+
+// Handle identifies one split-phase operation started with NbGet or
+// NbPut. Sync retires it: for a GET, the destination buffer is valid
+// only after Sync returns; for a PUT, the source data is captured at
+// issue time, and Sync (or a fence/barrier, which retires every
+// outstanding handle) guarantees target visibility. The zero Handle —
+// returned for empty or fully local transfers whose work completed at
+// issue — is valid and retires as a no-op.
+type Handle struct {
+	op *nbOp
+}
+
+// Valid reports whether the handle refers to a still-tracked operation.
+func (h Handle) Valid() bool { return h.op != nil }
+
+// nbOp is the per-handle state: one sub-operation per single-affinity
+// run of the transfer, retired in issue order.
+type nbOp struct {
+	subs    []nbSub
+	retired bool
+}
+
+// nbSub is one remote run of a split-phase operation: the completion
+// the issuing thread waits on at Sync, and the retire work (copy-out,
+// NACK fallback, span finish, counters) that runs once it fires.
+type nbSub struct {
+	done *sim.Completion
+	fin  func()
+}
+
+// NbGet starts a split-phase read of len(dst) bytes of consecutive
+// elements at r (the non-blocking upc_memget). The transfer is split
+// into per-affinity runs like GetBulk; local runs complete
+// synchronously, remote ones are issued without waiting — small ones
+// through the coalescing buffers when the runtime has them enabled.
+// dst must not be read, and the array region not written, until Sync.
+func (t *Thread) NbGet(dst []byte, r Ref) Handle {
+	es := int64(r.A.l.ElemSize)
+	if int64(len(dst))%es != 0 {
+		panic("core: NbGet length not a multiple of element size")
+	}
+	n := int64(len(dst)) / es
+	if n == 0 {
+		return Handle{}
+	}
+	r.A.check(r.Idx + n - 1)
+	op := &nbOp{}
+	idx, off := r.Idx, int64(0)
+	for n > 0 {
+		run := r.A.l.ContigRun(idx)
+		if run > n {
+			run = n
+		}
+		t.nbGetRun(op, r.A, idx, dst[off*es:(off+run)*es])
+		idx += run
+		off += run
+		n -= run
+	}
+	if len(op.subs) == 0 {
+		return Handle{} // fully local: the data is already in dst
+	}
+	t.nbOut = append(t.nbOut, op)
+	return Handle{op: op}
+}
+
+// NbPut starts a split-phase write of len(src) bytes of consecutive
+// elements at r (the non-blocking upc_memput). src is captured at
+// issue; Sync on the returned handle waits for target visibility,
+// stronger than a blocking Put (which only waits for local completion
+// and leaves visibility to the fence). Transfers above the eager limit
+// keep the blocking rendezvous pipeline and retire under the fence.
+func (t *Thread) NbPut(r Ref, src []byte) Handle {
+	es := int64(r.A.l.ElemSize)
+	if int64(len(src))%es != 0 {
+		panic("core: NbPut length not a multiple of element size")
+	}
+	n := int64(len(src)) / es
+	if n == 0 {
+		return Handle{}
+	}
+	r.A.check(r.Idx + n - 1)
+	op := &nbOp{}
+	idx, off := r.Idx, int64(0)
+	for n > 0 {
+		run := r.A.l.ContigRun(idx)
+		if run > n {
+			run = n
+		}
+		t.nbPutRun(op, r.A, idx, src[off*es:(off+run)*es])
+		idx += run
+		off += run
+		n -= run
+	}
+	if len(op.subs) == 0 {
+		return Handle{}
+	}
+	t.nbOut = append(t.nbOut, op)
+	return Handle{op: op}
+}
+
+// Sync blocks until the operation behind h has completed: the thread's
+// node flushes its coalescing buffers (parked sub-messages must leave)
+// and the handle's sub-operations are retired in issue order.
+func (t *Thread) Sync(h Handle) {
+	op := h.op
+	if op == nil || op.retired {
+		return
+	}
+	t.rt.M.FlushCoalesced(t.p, t.ns.id)
+	t.retire(op)
+	for i, o := range t.nbOut {
+		if o == op {
+			t.nbOut = append(t.nbOut[:i], t.nbOut[i+1:]...)
+			break
+		}
+	}
+}
+
+// SyncAll retires every outstanding split-phase handle of this thread,
+// in issue order. Fences and barriers call it first, so the blocking
+// memory-consistency points also cover split-phase traffic.
+func (t *Thread) SyncAll() {
+	if len(t.nbOut) == 0 {
+		return
+	}
+	t.rt.M.FlushCoalesced(t.p, t.ns.id)
+	for len(t.nbOut) > 0 {
+		op := t.nbOut[0]
+		t.nbOut = t.nbOut[1:]
+		t.retire(op)
+	}
+}
+
+func (t *Thread) retire(op *nbOp) {
+	if op.retired {
+		return
+	}
+	op.retired = true
+	for _, sub := range op.subs {
+		if sub.done != nil {
+			t.p.Wait(sub.done)
+		}
+		if sub.fin != nil {
+			sub.fin()
+		}
+	}
+}
+
+// nbGetRun issues one single-affinity run of a split-phase GET.
+func (t *Thread) nbGetRun(op *nbOp, a *SharedArray, idx int64, dst []byte) {
+	prof := t.rt.cfg.Profile
+	size := len(dst)
+	rn := a.l.NodeOf(idx)
+	start := t.p.Now()
+
+	if rn == t.ns.id {
+		// Intra-node runs complete at issue, exactly like the blocking
+		// path: there is nothing to overlap.
+		cb := t.localCB(a)
+		span := t.rt.tel.StartSpan("get", t.id, t.ns.id, start)
+		span.SetProto("local")
+		span.SetBytes(size)
+		t.p.Sleep(prof.ShmLatency + sim.BytesTime(size, prof.ShmByteTime))
+		t.ns.tn.Mem.Read(dst, cb.LocalBase+mem.Addr(a.l.ChunkOffset(idx)))
+		span.Finish(t.p.Now())
+		t.localGets++
+		return
+	}
+
+	if size > prof.EagerMax && prof.SupportsRDMA {
+		// Rendezvous-sized transfers stay blocking: nothing small to
+		// batch, and the zero-copy pipeline overlaps within the transfer.
+		t.getRun(a, idx, dst)
+		return
+	}
+
+	off := a.l.ChunkOffset(idx)
+	span := t.rt.tel.StartSpan("get", t.id, t.ns.id, start)
+	span.SetBytes(size)
+	finish := func() {
+		span.Finish(t.p.Now())
+		t.gets++
+		t.getTime += t.p.Now() - start
+	}
+
+	if t.ns.cache != nil {
+		t0 := t.p.Now()
+		t.p.Sleep(prof.CacheLookupCost)
+		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
+		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+			span.SetProto("rdma")
+			res := t.rt.M.RDMAGetStart(t.p, t.ns.id, rn, base, base+mem.Addr(off), size, span)
+			op.subs = append(op.subs, nbSub{done: res, fin: func() {
+				val := res.Value()
+				t.rt.K.Recycle(res)
+				if _, nack := val.(transport.Nack); nack {
+					// The target deregistered the region mid-flight:
+					// drop the stale entry and redo the run over the
+					// eager path, synchronously — we are already inside
+					// Sync, so blocking here is the semantics.
+					t.ns.cache.Remove(cacheKey(a.h, rn))
+					t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
+					span.SetProto("eager")
+					t.eagerGet(a, rn, off, dst, span)
+				} else {
+					copy(dst, val.([]byte))
+				}
+				finish()
+			}})
+			return
+		}
+	}
+	span.SetProto("eager")
+	done := sim.NewCompletion(t.rt.K, "get")
+	t.rt.M.SendAMCoalesced(t.p, t.ns.id, rn, hGetReq,
+		&getReq{H: a.h, Off: off, Size: size, WantAddr: t.ns.cache != nil, Done: done}, nil, 0, span)
+	op.subs = append(op.subs, nbSub{done: done, fin: func() {
+		copy(dst, done.Value().([]byte))
+		t.rt.K.Recycle(done)
+		finish()
+	}})
+}
+
+// nbPutRun issues one single-affinity run of a split-phase PUT.
+func (t *Thread) nbPutRun(op *nbOp, a *SharedArray, idx int64, src []byte) {
+	prof := t.rt.cfg.Profile
+	size := len(src)
+	rn := a.l.NodeOf(idx)
+	start := t.p.Now()
+
+	if rn == t.ns.id {
+		cb := t.localCB(a)
+		span := t.rt.tel.StartSpan("put", t.id, t.ns.id, start)
+		span.SetProto("local")
+		span.SetBytes(size)
+		t.p.Sleep(prof.ShmLatency + sim.BytesTime(size, prof.ShmByteTime))
+		t.ns.tn.Mem.Write(cb.LocalBase+mem.Addr(a.l.ChunkOffset(idx)), src)
+		span.Finish(t.p.Now())
+		t.localPuts++
+		return
+	}
+
+	if size > prof.EagerMax && prof.SupportsRDMA {
+		t.putRun(a, idx, src) // async under the fence, as always
+		return
+	}
+
+	off := a.l.ChunkOffset(idx)
+	span := t.rt.tel.StartSpan("put", t.id, t.ns.id, start)
+	span.SetBytes(size)
+	done := sim.NewCompletion(t.rt.K, "nb-put")
+
+	if t.ns.cache != nil && t.rt.putCache {
+		t0 := t.p.Now()
+		t.p.Sleep(prof.CacheLookupCost)
+		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
+		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+			span.SetProto("rdma")
+			data := append([]byte(nil), src...)
+			remote := t.rt.M.RDMAPutStart(t.p, t.ns.id, rn, base, base+mem.Addr(off), data, span)
+			t.fence.Add(1)
+			t.watchPut(remote, a, rn, off, data, span, done)
+			op.subs = append(op.subs, nbSub{done: done, fin: func() {
+				t.rt.K.Recycle(done)
+				span.Finish(t.p.Now())
+				t.puts++
+				t.putTime += t.p.Now() - start
+			}})
+			return
+		}
+	}
+	span.SetProto("eager")
+	t0 := t.p.Now()
+	t.p.Sleep(sim.BytesTime(size, prof.CopyByteTime))
+	span.Phase(telemetry.PhaseCopy, t0, t.p.Now())
+	data := append([]byte(nil), src...)
+	t.fence.Add(1)
+	t.rt.M.SendAMCoalesced(t.p, t.ns.id, rn, hPutReq,
+		&putReq{H: a.h, Off: off, WantAddr: t.ns.cache != nil, Fence: t.fence, Done: done}, data, 0, span)
+	op.subs = append(op.subs, nbSub{done: done, fin: func() {
+		t.rt.K.Recycle(done)
+		span.Finish(t.p.Now())
+		t.puts++
+		t.putTime += t.p.Now() - start
+	}})
+}

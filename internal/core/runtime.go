@@ -88,6 +88,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		}
 		m.EnableChaos(inj, rc)
 	}
+	if cfg.Coalesce != nil {
+		m.EnableCoalescing(*cfg.Coalesce)
+	}
 	rt := &Runtime{cfg: cfg, K: k, M: m, tel: cfg.Telemetry, putCache: cfg.putCacheEnabled()}
 	rt.nodes = make([]*nodeState, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -199,6 +202,11 @@ type RunStats struct {
 	Retransmits   int64 // reliable-layer re-injections
 	DupSuppressed int64 // replayed packets discarded by target-side dedup
 	AcksSent      int64 // reliable-layer acknowledgements
+
+	// Message coalescing (all zero when Coalesce is nil).
+	CoalMsgs       int64 // sub-messages that travelled inside a frame
+	CoalFrames     int64 // coalesced wire frames flushed
+	CoalSavedBytes int64 // header bytes saved versus individual sends
 }
 
 func (rt *Runtime) stats() RunStats {
@@ -236,6 +244,10 @@ func (rt *Runtime) stats() RunStats {
 	st.Retransmits = rs.Retransmits
 	st.DupSuppressed = rs.DupSuppressed
 	st.AcksSent = rs.Acks
+	cs := rt.M.CoalStats()
+	st.CoalMsgs = cs.Msgs
+	st.CoalFrames = cs.Frames
+	st.CoalSavedBytes = cs.SavedBytes
 	for _, th := range rt.threads {
 		st.Gets += th.gets
 		st.Puts += th.puts

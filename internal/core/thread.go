@@ -24,6 +24,11 @@ type Thread struct {
 	fence *sim.Counter
 	rng   *rand.Rand
 
+	// nbOut is the issue-ordered list of outstanding split-phase
+	// handles; SyncAll (and through it every fence and barrier) drains
+	// it.
+	nbOut []*nbOp
+
 	// Counters for RunStats.
 	gets, puts           int64
 	localGets, localPuts int64
@@ -76,8 +81,11 @@ func (t *Thread) Compute(d sim.Duration) {
 func (t *Thread) Sleep(d sim.Duration) { t.p.Sleep(d) }
 
 // Fence blocks until every PUT this thread issued has completed at its
-// target (upc_fence).
+// target (upc_fence). Outstanding split-phase handles are retired
+// first, so a fence is a full consistency point for non-blocking
+// traffic too.
 func (t *Thread) Fence() {
+	t.SyncAll()
 	if t.fence.Pending() == 0 {
 		return
 	}

@@ -64,6 +64,14 @@ type Params struct {
 	// chasers.
 	HopCompute sim.Time
 
+	// SplitPhase routes the Pointer and Update inner loops through the
+	// runtime's non-blocking NbGet/Sync API instead of blocking Get —
+	// Update's per-hop reads are issued together and retired with one
+	// SyncAll, so they coalesce when the runtime batches messages. The
+	// checksums are identical either way; only timing may change. Off
+	// by default so golden runs match the blocking build bit for bit.
+	SplitPhase bool
+
 	// Salt perturbs the deterministic workload generators, giving
 	// independent replications for confidence intervals while staying
 	// reproducible. The default (0) matches the figures.

@@ -1,8 +1,13 @@
 package dis
 
 import (
+	"encoding/binary"
+
 	"xlupc/internal/core"
 )
+
+// byteOrder matches the runtime's shared-array element encoding.
+var byteOrder = binary.LittleEndian
 
 // Pointer is the Pointer Stressmark: each UPC thread repeatedly
 // follows pointers (hops) to randomized locations in a shared array,
@@ -27,8 +32,18 @@ func Pointer(t *core.Thread, p Params) uint64 {
 
 	pos := int64(p.hash(uint64(t.ID())^0xBEEF) % uint64(n))
 	var check uint64
+	var buf [8]byte
 	for h := 0; h < p.PointerHops; h++ {
-		next := t.GetUint64(a.At(pos))
+		var next uint64
+		if p.SplitPhase {
+			// The chain is a strict dependency, so the handle retires
+			// immediately — this exercises the split-phase path without
+			// changing the access pattern or the checksum.
+			t.Sync(t.NbGet(buf[:], a.At(pos)))
+			next = byteOrder.Uint64(buf[:])
+		} else {
+			next = t.GetUint64(a.At(pos))
+		}
 		t.Compute(p.HopCompute)
 		check ^= next + uint64(h)
 		pos = int64(next)
@@ -57,15 +72,33 @@ func Update(t *core.Thread, p Params) uint64 {
 	var check uint64
 	if t.ID() == 0 {
 		pos := int64(p.hash(0x5EED) % uint64(n))
+		bufs := make([][8]byte, p.UpdateReads)
 		for h := 0; h < p.UpdateHops; h++ {
 			var next uint64
-			for r := 0; r < p.UpdateReads; r++ {
-				at := (pos + int64(r)*97) % n
-				v := t.GetUint64(a.At(at))
-				if r == 0 {
-					next = v
+			if p.SplitPhase {
+				// Issue the hop's reads together and retire them with one
+				// sync: with coalescing on they share a wire frame.
+				for r := 0; r < p.UpdateReads; r++ {
+					at := (pos + int64(r)*97) % n
+					t.NbGet(bufs[r][:], a.At(at))
 				}
-				check ^= v + uint64(r)
+				t.SyncAll()
+				for r := 0; r < p.UpdateReads; r++ {
+					v := byteOrder.Uint64(bufs[r][:])
+					if r == 0 {
+						next = v
+					}
+					check ^= v + uint64(r)
+				}
+			} else {
+				for r := 0; r < p.UpdateReads; r++ {
+					at := (pos + int64(r)*97) % n
+					v := t.GetUint64(a.At(at))
+					if r == 0 {
+						next = v
+					}
+					check ^= v + uint64(r)
+				}
 			}
 			t.Compute(p.UpdateHopCompute)
 			// Update one location, preserving the successor structure

@@ -1,0 +1,87 @@
+package dis
+
+import (
+	"fmt"
+	"testing"
+
+	"xlupc/internal/core"
+	"xlupc/internal/sim"
+	"xlupc/internal/transport"
+)
+
+// runSplit executes a stressmark with the split-phase flag and optional
+// coalescing, returning (elapsed, combined checksum).
+func runSplit(t *testing.T, fn Func, prof *transport.Profile, split, coal bool) (sim.Time, uint64) {
+	t.Helper()
+	const threads, nodes = 8, 4
+	cfg := core.Config{
+		Threads: threads, Nodes: nodes, Profile: prof,
+		Cache: core.DefaultCache(), Seed: 7,
+	}
+	if coal {
+		cc := transport.DefaultCoalConfig()
+		cfg.Coalesce = &cc
+	}
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default(threads)
+	p.SplitPhase = split
+	checks := make([]uint64, threads)
+	st, err := rt.Run(func(th *core.Thread) {
+		checks[th.ID()] = fn(th, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for i, c := range checks {
+		sum ^= c + uint64(i)*0x9E37
+	}
+	return st.Elapsed, sum
+}
+
+// Converting Pointer and Update to the non-blocking API must not change
+// a single checksum — with or without coalescing, on both transports.
+// This is the correctness half of the split-phase acceptance criterion;
+// the latency half lives in the bench package.
+func TestSplitPhaseChecksumsIdentical(t *testing.T) {
+	for _, name := range []string{"pointer", "update"} {
+		fn, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prof := range []*transport.Profile{transport.GM(), transport.LAPI()} {
+			t.Run(fmt.Sprintf("%s/%s", name, prof.Name), func(t *testing.T) {
+				_, base := runSplit(t, fn, prof, false, false)
+				_, sp := runSplit(t, fn, prof, true, false)
+				_, spCoal := runSplit(t, fn, prof, true, true)
+				if sp != base {
+					t.Fatalf("split-phase changed checksum: %x vs %x", sp, base)
+				}
+				if spCoal != base {
+					t.Fatalf("split-phase+coalescing changed checksum: %x vs %x", spCoal, base)
+				}
+			})
+		}
+	}
+}
+
+// Update issues its reads in waves; with coalescing the waves batch
+// into frames and the stressmark must get faster, not just stay
+// correct.
+func TestUpdateSplitPhaseFaster(t *testing.T) {
+	fn, err := ByName("update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prof := range []*transport.Profile{transport.GM(), transport.LAPI()} {
+		tBlock, _ := runSplit(t, fn, prof, false, false)
+		tSplit, _ := runSplit(t, fn, prof, true, true)
+		if !(tSplit < tBlock) {
+			t.Errorf("%s: split-phase Update %v not faster than blocking %v",
+				prof.Name, tSplit, tBlock)
+		}
+	}
+}

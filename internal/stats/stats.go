@@ -108,10 +108,12 @@ func (s *Sample) Summary() string {
 // Improvement is the paper's headline metric: the percentage execution
 // time reduction 100*(z-w)/z of the optimized time w over the regular
 // time z. Negative values mean the optimization slowed things down
-// (as for small LAPI PUTs). A zero baseline yields 0.
+// (as for small LAPI PUTs). A zero baseline has no meaningful
+// improvement and yields NaN — not 0, which would silently read as
+// "no improvement" in report tables; printers render it as "n/a".
 func Improvement(z, w float64) float64 {
 	if z == 0 {
-		return 0
+		return math.NaN()
 	}
 	return 100 * (z - w) / z
 }

@@ -70,13 +70,16 @@ func TestImprovement(t *testing.T) {
 		{100, 60, 40},
 		{100, 100, 0},
 		{100, 300, -200}, // the LAPI PUT regression magnitude
-		{0, 50, 0},
 		{50, 0, 100},
 	}
 	for _, c := range cases {
 		if got := Improvement(c.z, c.w); !almost(got, c.want) {
 			t.Errorf("Improvement(%v,%v) = %v, want %v", c.z, c.w, got, c.want)
 		}
+	}
+	// A zero baseline is degenerate: NaN, not a silent "no improvement".
+	if got := Improvement(0, 50); !math.IsNaN(got) {
+		t.Errorf("Improvement(0,50) = %v, want NaN", got)
 	}
 }
 

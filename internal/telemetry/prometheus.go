@@ -99,6 +99,11 @@ func (t *Telemetry) Snapshot() string {
 		return ""
 	}
 	var sb strings.Builder
-	_ = t.WritePrometheus(&sb)
+	if err := t.WritePrometheus(&sb); err != nil {
+		// strings.Builder never returns a write error, so any error here
+		// is a serialization bug. Silently returning a truncated snapshot
+		// would make two differing runs compare equal; fail loudly.
+		panic(fmt.Sprintf("telemetry: snapshot failed: %v", err))
+	}
 	return sb.String()
 }

@@ -38,6 +38,12 @@ type Msg struct {
 	Span    *telemetry.Span
 	sent    sim.Time
 	arrived sim.Time
+
+	// Batch is the per-frame scratch shared by every sub-message of one
+	// coalesced frame (nil for individual messages); reply is the open
+	// reply buffer while the message is served as part of a batch.
+	Batch *BatchScratch
+	reply *coalBuf
 }
 
 // WireSize reports the message's size on the wire.
@@ -59,6 +65,11 @@ type Machine struct {
 	// rel is the reliable-delivery layer; nil (the default) keeps the
 	// original fire-and-forget wire with zero added events.
 	rel *reliability
+
+	// coal is the per-destination message coalescer; nil (the default)
+	// keeps every send individual and the event stream bit-identical to
+	// a build without coalescing.
+	coal *coalescer
 
 	// Tel is the run's telemetry hub; nil disables all recording at
 	// zero virtual-time cost (phase recording never sleeps).
@@ -144,6 +155,10 @@ func (m *Machine) spawnDispatchers(nd *Node) {
 		m.K.SpawnDaemon(fmt.Sprintf("node%d.amdisp%d", nd.ID, c), func(p *sim.Proc) {
 			for {
 				raw := port.AM.Pop(p)
+				if b, ok := raw.(*batchMsg); ok {
+					m.serveBatch(p, nd, b)
+					continue
+				}
 				msg := raw.(*Msg)
 				h := m.handlers[msg.Handler]
 				if h == nil {

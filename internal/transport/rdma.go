@@ -130,6 +130,87 @@ func (m *Machine) RDMAPutSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, d
 	return done
 }
 
+// RDMAGetStart issues a one-sided read without blocking: the returned
+// completion fires at the initiator with the data ([]byte) or a Nack,
+// after the transport's RDMA-mode extra latency has elapsed. With
+// coalescing enabled the descriptor joins the (src,dst) doorbell batch
+// instead of paying its own setup, TX arbitration and injection.
+func (m *Machine) RDMAGetStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int, span *telemetry.Span) *sim.Completion {
+	m.rdmaCount++
+	done := sim.NewCompletion(m.K, "rdma-get")
+	res := m.nbResult(done, "get", span)
+	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, done: done, span: span}
+	if c := m.coal; c != nil {
+		c.append(p, coalKey{src: src, dst: dst, class: fabric.ClassDMA}, op, m.Prof.RDMADescBytes, span)
+		return res
+	}
+	t0 := p.Now()
+	p.Sleep(m.Prof.RDMASetup)
+	tx := m.Fab.Port(src).TX
+	tx.Acquire(p)
+	if m.rel != nil {
+		op.arrived = m.rel.inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op, span)
+	} else {
+		op.arrived = m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op)
+	}
+	tx.Release()
+	op.sent = p.Now()
+	span.Phase(telemetry.PhaseRDMASetup, t0, op.sent)
+	return res
+}
+
+// RDMAPutStart issues a one-sided write without blocking the caller
+// through the RDMA-mode completion latency. The returned completion
+// fires when the data is globally visible in target memory (or with a
+// Nack); fences and split-phase handles wait on it. With coalescing
+// enabled the descriptor and its payload join the doorbell batch.
+func (m *Machine) RDMAPutStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte, span *telemetry.Span) *sim.Completion {
+	m.rdmaCount++
+	done := sim.NewCompletion(m.K, "rdma-put")
+	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, done: done, span: span}
+	if c := m.coal; c != nil {
+		c.append(p, coalKey{src: src, dst: dst, class: fabric.ClassDMA}, op, m.Prof.RDMADescBytes+len(data), span)
+		return done
+	}
+	t0 := p.Now()
+	p.Sleep(m.Prof.RDMASetup)
+	tx := m.Fab.Port(src).TX
+	tx.Acquire(p)
+	if m.rel != nil {
+		op.arrived = m.rel.inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op, span)
+	} else {
+		op.arrived = m.Fab.Inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op)
+	}
+	tx.Release()
+	op.sent = p.Now()
+	span.Phase(telemetry.PhaseRDMASetup, t0, op.sent)
+	return done
+}
+
+// nbResult wraps a split-phase RDMA read's completion: the
+// caller-visible completion fires only after the transport's RDMA-mode
+// extra latency, and NACKs are counted when the initiator observes
+// them, matching the blocking path's accounting.
+func (m *Machine) nbResult(done *sim.Completion, opName string, span *telemetry.Span) *sim.Completion {
+	res := sim.NewCompletion(m.K, "rdma-nb")
+	done.Then(func(v any) {
+		if _, nack := v.(Nack); nack {
+			m.noteNack(opName)
+		}
+		m.K.Recycle(done)
+		if m.Prof.RDMAExtraLatency > 0 {
+			lat := m.K.Now()
+			m.K.After(m.Prof.RDMAExtraLatency, func() {
+				span.Phase(telemetry.PhaseRDMALatency, lat, m.K.Now())
+				res.Complete(v)
+			})
+			return
+		}
+		res.Complete(v)
+	})
+	return res
+}
+
 // noteNack counts an RDMA NACK observed by the initiator.
 func (m *Machine) noteNack(op string) {
 	m.nacks++
@@ -147,6 +228,10 @@ type dmaEngine struct {
 	nd   *Node
 	port *fabric.Port
 	busy bool
+
+	// pending holds the descriptors of an unpacked doorbell batch; they
+	// are serviced in order before the engine pops the next wire frame.
+	pending []any
 }
 
 func (m *Machine) startDMAEngine(nd *Node) {
@@ -170,12 +255,25 @@ func (e *dmaEngine) kick() {
 // the engine when none is pending. Each service chain re-enters here
 // when its descriptor is fully injected/completed.
 func (e *dmaEngine) serveNext() {
-	raw, ok := e.port.DMA.TryPop()
-	if !ok {
-		e.busy = false
-		return
+	var raw any
+	if len(e.pending) > 0 {
+		raw = e.pending[0]
+		e.pending = e.pending[1:]
+	} else {
+		var ok bool
+		raw, ok = e.port.DMA.TryPop()
+		if !ok {
+			e.busy = false
+			return
+		}
 	}
 	switch op := raw.(type) {
+	case *dmaFrame:
+		// A doorbell batch: unpack and service its descriptors in order.
+		// pending is necessarily empty here — frames are only popped off
+		// the wire queue, never nested.
+		e.pending = op.ops
+		e.serveNext()
 	case *dmaGet:
 		e.serveGet(op)
 	case *dmaPut:
