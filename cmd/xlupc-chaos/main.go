@@ -11,10 +11,18 @@
 // All hazards derive from the seed, so two invocations with the same
 // flags produce byte-identical output.
 //
+// With -crashes, the command instead sweeps node crash/restart rates:
+// seeded per-node crash schedules with epoch-guarded RDMA and
+// stale-cache recovery, reporting crash counts, stale-NACK traffic,
+// parked retransmits, mean recovery time and slowdown per rate. The
+// same rules apply: checksums must match the crash-free baseline and
+// same-flag invocations are byte-identical.
+//
 // Usage:
 //
 //	xlupc-chaos                                   # both transports, default losses
 //	xlupc-chaos -profile gm -mark field -losses 0,0.01,0.05 -seed 7
+//	xlupc-chaos -crashes 0,0.05,0.2 -restart-delay 200
 package main
 
 import (
@@ -26,8 +34,30 @@ import (
 	"strings"
 
 	"xlupc/internal/bench"
+	"xlupc/internal/sim"
 	"xlupc/internal/transport"
 )
+
+// parseRates parses a comma-separated probability list, exiting with
+// status 2 on anything outside [0, 1). NaN slips through plain range
+// comparisons (both are false), so it is rejected explicitly: a NaN
+// rate would silently corrupt every schedule draw.
+func parseRates(flagName, list string) []float64 {
+	var rates []float64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(v) || v < 0 || v >= 1 {
+			fmt.Fprintf(os.Stderr, "xlupc-chaos: bad %s rate %q (want 0 <= rate < 1)\n", flagName, s)
+			os.Exit(2)
+		}
+		rates = append(rates, v)
+	}
+	return rates
+}
 
 func main() {
 	mark := flag.String("mark", "pointer", "DIS stressmark: pointer, update, neighborhood or field")
@@ -35,6 +65,8 @@ func main() {
 	threads := flag.Int("threads", 8, "UPC threads")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	lossList := flag.String("losses", "0,0.005,0.01,0.02,0.05", "comma-separated packet-loss rates")
+	crashList := flag.String("crashes", "", "comma-separated node crash rates; sweeps crash/restart recovery instead of packet loss")
+	restartUs := flag.Float64("restart-delay", 150, "maximum node restart delay in µs for -crashes")
 	seed := flag.Int64("seed", 1, "simulation seed (drives workload and every injected fault)")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	flag.Parse()
@@ -44,25 +76,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xlupc-chaos: %v\n", err)
 		os.Exit(2)
 	}
-	var losses []float64
-	for _, s := range strings.Split(*lossList, ",") {
-		s = strings.TrimSpace(s)
-		if s == "" {
-			continue
-		}
-		// NaN slips through plain range comparisons (both are false), so
-		// reject it explicitly: a NaN rate would silently corrupt every
-		// injector draw.
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil || math.IsNaN(v) || v < 0 || v >= 1 {
-			fmt.Fprintf(os.Stderr, "xlupc-chaos: bad loss rate %q (want 0 <= rate < 1)\n", s)
+	crashing := *crashList != ""
+	// A NaN or infinite delay would poison the virtual-time arithmetic of
+	// every restart window; zero or negative would make restarts instant
+	// (degenerate) and anything past a second dwarfs the simulated runs.
+	if math.IsNaN(*restartUs) || math.IsInf(*restartUs, 0) || *restartUs <= 0 || *restartUs > 1e6 {
+		fmt.Fprintf(os.Stderr, "xlupc-chaos: bad -restart-delay %v (want 0 < µs <= 1e6)\n", *restartUs)
+		os.Exit(2)
+	}
+	restart := sim.Time(*restartUs * float64(sim.Us))
+
+	var losses, crashes []float64
+	if crashing {
+		crashes = parseRates("crash", *crashList)
+		if len(crashes) == 0 {
+			fmt.Fprintln(os.Stderr, "xlupc-chaos: no crash rates")
 			os.Exit(2)
 		}
-		losses = append(losses, v)
-	}
-	if len(losses) == 0 {
-		fmt.Fprintln(os.Stderr, "xlupc-chaos: no loss rates")
-		os.Exit(2)
+	} else {
+		losses = parseRates("loss", *lossList)
+		if len(losses) == 0 {
+			fmt.Fprintln(os.Stderr, "xlupc-chaos: no loss rates")
+			os.Exit(2)
+		}
 	}
 
 	sc := bench.Scale{Threads: *threads, Nodes: *nodes}
@@ -73,12 +109,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xlupc-chaos: unknown profile %q\n", name)
 			os.Exit(2)
 		}
-		pts := bench.PrintChaos(os.Stdout, *mark, prof, sc, losses, *seed)
-		for _, pt := range pts[1:] {
-			if pt.Checksum != pts[0].Checksum {
-				fmt.Fprintf(os.Stderr, "xlupc-chaos: %s/%s: checksum diverged at loss %g: %x vs %x\n",
-					*mark, name, pt.Loss, pt.Checksum, pts[0].Checksum)
-				ok = false
+		if crashing {
+			pts := bench.PrintCrash(os.Stdout, *mark, prof, sc, crashes, restart, *seed)
+			for _, pt := range pts[1:] {
+				if pt.Checksum != pts[0].Checksum {
+					fmt.Fprintf(os.Stderr, "xlupc-chaos: %s/%s: checksum diverged at crash rate %g: %x vs %x\n",
+						*mark, name, pt.Rate, pt.Checksum, pts[0].Checksum)
+					ok = false
+				}
+			}
+		} else {
+			pts := bench.PrintChaos(os.Stdout, *mark, prof, sc, losses, *seed)
+			for _, pt := range pts[1:] {
+				if pt.Checksum != pts[0].Checksum {
+					fmt.Fprintf(os.Stderr, "xlupc-chaos: %s/%s: checksum diverged at loss %g: %x vs %x\n",
+						*mark, name, pt.Loss, pt.Checksum, pts[0].Checksum)
+					ok = false
+				}
 			}
 		}
 		fmt.Println()

@@ -47,6 +47,7 @@ func (p EvictPolicy) String() string {
 type entry struct {
 	key        Key
 	addr       mem.Addr
+	epoch      uint32 // target-node incarnation that advertised addr
 	prev, next *entry // LRU list; head = most recent
 }
 
@@ -136,17 +137,25 @@ func (c *Cache) pushFront(e *entry) {
 // Lookup consults the cache. On a hit it returns the cached base
 // address and refreshes the entry's recency.
 func (c *Cache) Lookup(k Key) (mem.Addr, bool) {
+	addr, _, ok := c.LookupEpoch(k)
+	return addr, ok
+}
+
+// LookupEpoch is Lookup returning also the target-node incarnation
+// epoch the address was advertised under. RDMA descriptors carry it so
+// the target can NACK addresses minted by a pre-crash incarnation.
+func (c *Cache) LookupEpoch(k Key) (mem.Addr, uint32, bool) {
 	e, ok := c.m[k]
 	if !ok {
 		c.stats.Misses++
-		return 0, false
+		return 0, 0, false
 	}
 	c.stats.Hits++
 	if c.policy == LRU && c.head != e {
 		c.unlink(e)
 		c.pushFront(e)
 	}
-	return e.addr, true
+	return e.addr, e.epoch, true
 }
 
 // Contains reports whether k is resident, without touching the hit or
@@ -162,12 +171,19 @@ func (c *Cache) Contains(k Key) bool {
 // Re-inserting an existing key updates it in place (the address of a
 // live object never changes under the pin-everything policy, but the
 // update path exists for the limited-pinning extension).
-func (c *Cache) Insert(k Key, addr mem.Addr) {
+func (c *Cache) Insert(k Key, addr mem.Addr) { c.InsertEpoch(k, addr, 0) }
+
+// InsertEpoch is Insert tagging the entry with the target-node
+// incarnation epoch that advertised the address. Epoch is stored per
+// entry — not per node — so a base address recycled by a restarted
+// allocator can never be mistaken for current just because it matches.
+func (c *Cache) InsertEpoch(k Key, addr mem.Addr, epoch uint32) {
 	if c.capacity == 0 {
 		return
 	}
 	if e, ok := c.m[k]; ok {
 		e.addr = addr
+		e.epoch = epoch
 		if c.policy == LRU && c.head != e {
 			c.unlink(e)
 			c.pushFront(e)
@@ -177,7 +193,7 @@ func (c *Cache) Insert(k Key, addr mem.Addr) {
 	if c.capacity > 0 && len(c.m) >= c.capacity {
 		c.evict()
 	}
-	e := &entry{key: k, addr: addr}
+	e := &entry{key: k, addr: addr, epoch: epoch}
 	c.m[k] = e
 	c.pushFront(e)
 	c.stats.Inserts++
@@ -221,6 +237,25 @@ func (c *Cache) InvalidateHandle(handle uint64) int {
 	for e := c.head; e != nil; {
 		next := e.next
 		if e.key.Handle == handle {
+			c.unlink(e)
+			delete(c.m, e.key)
+			n++
+		}
+		e = next
+	}
+	c.stats.Invalidations += int64(n)
+	return n
+}
+
+// InvalidateNode drops every entry whose target is the given node —
+// called when a stale-epoch NACK reveals the node crashed and
+// restarted, so every address cached for it describes the previous
+// incarnation's layout. It returns the number of entries dropped.
+func (c *Cache) InvalidateNode(node int32) int {
+	n := 0
+	for e := c.head; e != nil; {
+		next := e.next
+		if e.key.Node == node {
 			c.unlink(e)
 			delete(c.m, e.key)
 			n++

@@ -340,3 +340,96 @@ func TestContainsDoesNotTouchStatsOrRecency(t *testing.T) {
 		t.Fatal("Contains refreshed recency; key 1 should have been evicted")
 	}
 }
+
+func TestInvalidateNode(t *testing.T) {
+	// Mirrors TestInvalidateHandle across the other key axis: every
+	// entry pointing at the crashed node drops, exactly once, and
+	// entries for other nodes survive untouched.
+	c := New(10, LRU, 1)
+	for h := uint64(0); h < 4; h++ {
+		c.Insert(key(h, 2), mem.Addr(0x20+h))
+	}
+	c.Insert(key(0, 1), 0x10)
+	if got := c.InvalidateNode(2); got != 4 {
+		t.Fatalf("invalidated %d, want 4", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if _, ok := c.Lookup(key(0, 1)); !ok {
+		t.Fatal("entry for a live node invalidated")
+	}
+	if c.Stats().Invalidations != 4 {
+		t.Fatalf("invalidations = %d, want 4", c.Stats().Invalidations)
+	}
+}
+
+func TestInvalidateNodeCountsOnce(t *testing.T) {
+	c := New(10, LRU, 1)
+	for h := uint64(0); h < 3; h++ {
+		c.Insert(key(h, 3), mem.Addr(0x30+h))
+	}
+	c.Insert(key(9, 0), 0x90)
+	if got := c.InvalidateNode(3); got != 3 {
+		t.Fatalf("first invalidation dropped %d, want 3", got)
+	}
+	if got := c.InvalidateNode(3); got != 0 {
+		t.Fatalf("second invalidation dropped %d, want 0", got)
+	}
+	if got := c.InvalidateNode(7); got != 0 {
+		t.Fatalf("absent node dropped %d, want 0", got)
+	}
+	if inv := c.Stats().Invalidations; inv != 3 {
+		t.Fatalf("invalidations stat = %d, want 3 (each entry once)", inv)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (other node intact)", c.Len())
+	}
+}
+
+func TestInvalidateNodeThenContains(t *testing.T) {
+	// The multi-pair piggyback filter probes residency with Contains; a
+	// node-wide invalidation must make those probes miss so the next
+	// reply's pairs re-populate, and the probes themselves must not
+	// resurrect or protect anything.
+	c := New(10, LRU, 1)
+	c.Insert(key(1, 2), 0x21)
+	c.Insert(key(2, 2), 0x22)
+	c.Insert(key(1, 0), 0x01)
+	if n := c.InvalidateNode(2); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if c.Contains(key(1, 2)) || c.Contains(key(2, 2)) {
+		t.Fatal("Contains sees entries of the invalidated node")
+	}
+	if !c.Contains(key(1, 0)) {
+		t.Fatal("Contains lost an entry of a live node")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Contains touched stats after invalidation: %+v", st)
+	}
+	// Fresh inserts for the restarted node land cleanly.
+	c.InsertEpoch(key(1, 2), 0x31, 1)
+	if addr, ep, ok := c.LookupEpoch(key(1, 2)); !ok || addr != 0x31 || ep != 1 {
+		t.Fatalf("re-insert after invalidation: addr=%#x epoch=%d ok=%v", addr, ep, ok)
+	}
+}
+
+func TestInsertEpochRoundTrip(t *testing.T) {
+	c := New(4, LRU, 1)
+	c.Insert(key(1, 0), 0x10) // plain insert defaults to epoch 0
+	if _, ep, ok := c.LookupEpoch(key(1, 0)); !ok || ep != 0 {
+		t.Fatalf("plain insert epoch = %d, want 0", ep)
+	}
+	// An in-place update must refresh both address and epoch — a stale
+	// epoch on a fresh address would defeat the mismatch check.
+	c.InsertEpoch(key(1, 0), 0x40, 3)
+	addr, ep, ok := c.LookupEpoch(key(1, 0))
+	if !ok || addr != 0x40 || ep != 3 {
+		t.Fatalf("update: addr=%#x epoch=%d ok=%v, want 0x40/3/true", addr, ep, ok)
+	}
+	if c.Stats().Inserts != 1 {
+		t.Fatalf("in-place update counted as insert: %d", c.Stats().Inserts)
+	}
+}

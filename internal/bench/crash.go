@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"xlupc/internal/core"
+	"xlupc/internal/dis"
+	"xlupc/internal/fault"
+	"xlupc/internal/sim"
+	"xlupc/internal/transport"
+)
+
+// CrashFaults maps a headline crash rate to a full crash/restart
+// schedule: per-node crash dice thrown every 400 µs at the given
+// probability, restart windows between restart/2 and restart, bounded
+// to three crashes per node inside a 20 ms horizon. rate <= 0 returns
+// nil — no crash machinery, but callers still run the reliable layer
+// (the crash-free baseline point).
+func CrashFaults(rate float64, restart sim.Time) *core.CrashConfig {
+	if rate <= 0 {
+		return nil
+	}
+	return &core.CrashConfig{CrashConfig: fault.CrashConfig{
+		Prob:       rate,
+		Every:      400 * sim.Us,
+		RestartMin: restart / 2,
+		RestartMax: restart,
+		Horizon:    20 * sim.Ms,
+		MaxPerNode: 3,
+	}}
+}
+
+// CrashPoint is one crash-rate measurement of a recovery curve.
+type CrashPoint struct {
+	Rate        float64
+	Crashes     int64   // nodes taken down
+	CrashDrops  int64   // arrivals dropped at dead NICs
+	StaleNacks  int64   // RDMA ops NACKed for a stale target epoch
+	Invalidated int64   // cache entries flushed by stale-NACK recovery
+	ParkedRetx  int64   // retransmits parked against restart timers
+	Retransmits int64   // reliable-layer re-injections
+	Recovered   int64   // restarts confirmed by a post-restart RDMA op
+	RecoveryUs  float64 // mean restart -> first-successful-op gap, µs
+	SlowdownPct float64 // elapsed vs the crash-free reliable baseline
+	Checksum    uint64  // stressmark self-verification value
+	Elapsed     sim.Time
+}
+
+// runCrashMark runs one stressmark over the reliable layer with the
+// given crash schedule (nil = crash-free baseline) and returns its
+// stats plus the combined self-verification checksum.
+func runCrashMark(fn dis.Func, sc Scale, prof *transport.Profile, cc *core.CrashConfig, seed int64) (core.RunStats, uint64) {
+	rc := transport.DefaultRelConfig()
+	rt, err := core.NewRuntime(core.Config{
+		Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: core.DefaultCache(), Seed: seed,
+		Rel: &rc, Crash: cc,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	p := dis.Default(sc.Threads)
+	checks := make([]uint64, sc.Threads)
+	st, err := rt.Run(func(t *core.Thread) { checks[t.ID()] = fn(t, p) })
+	if err != nil {
+		panic(fmt.Sprintf("bench: crash run failed: %v", err))
+	}
+	return st, dis.Checksum(checks)
+}
+
+// CrashSweep measures a recovery curve: the stressmark at each crash
+// rate, all over the reliable-delivery layer, against a crash-free
+// baseline with the identical configuration. Crash recovery being
+// invisible to program semantics is the experiment's whole claim, so a
+// checksum diverging from the baseline panics outright.
+func CrashSweep(mark string, prof *transport.Profile, sc Scale, rates []float64, restart sim.Time, seed int64) []CrashPoint {
+	fn, err := dis.ByName(mark)
+	if err != nil {
+		panic(err)
+	}
+	base, baseSum := runCrashMark(fn, sc, prof, nil, seed)
+	pts := make([]CrashPoint, len(rates))
+	parfor(len(rates), func(i int) {
+		st, sum := runCrashMark(fn, sc, prof, CrashFaults(rates[i], restart), seed)
+		if sum != baseSum {
+			panic(fmt.Sprintf("bench: %s at crash rate %g: checksum diverged from crash-free run: %x vs %x",
+				mark, rates[i], sum, baseSum))
+		}
+		recovery := 0.0
+		if st.Recovered > 0 {
+			recovery = st.RecoveryTime.Usecs() / float64(st.Recovered)
+		}
+		pts[i] = CrashPoint{
+			Rate:        rates[i],
+			Crashes:     st.Crashes,
+			CrashDrops:  st.CrashDrops,
+			StaleNacks:  st.StaleNacks,
+			Invalidated: st.StaleInvalidated,
+			ParkedRetx:  st.ParkedRetx,
+			Retransmits: st.Retransmits,
+			Recovered:   st.Recovered,
+			RecoveryUs:  recovery,
+			SlowdownPct: 100 * (st.Elapsed.Usecs() - base.Elapsed.Usecs()) / base.Elapsed.Usecs(),
+			Checksum:    sum,
+			Elapsed:     st.Elapsed,
+		}
+	})
+	return pts
+}
+
+// PrintCrash emits one recovery-curve table and returns its points.
+func PrintCrash(w io.Writer, mark string, prof *transport.Profile, sc Scale, rates []float64, restart sim.Time, seed int64) []CrashPoint {
+	pts := CrashSweep(mark, prof, sc, rates, restart, seed)
+	fmt.Fprintf(w, "# Crash — %s on %s, %s: recovery behaviour vs crash rate (reliable delivery on, restart <= %v)\n",
+		mark, prof.Name, sc, restart)
+	fmt.Fprintf(w, "%8s %8s %7s %7s %8s %7s %6s %5s %10s %9s %17s\n",
+		"rate", "crashes", "drops", "stale", "invalid", "parked", "retx", "recov", "recov(us)", "slow(%)", "checksum")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%8.3f %8d %7d %7d %8d %7d %6d %5d %10.2f %9.2f %17x\n",
+			pt.Rate, pt.Crashes, pt.CrashDrops, pt.StaleNacks, pt.Invalidated,
+			pt.ParkedRetx, pt.Retransmits, pt.Recovered, pt.RecoveryUs, pt.SlowdownPct, pt.Checksum)
+	}
+	return pts
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"xlupc/internal/sim"
+	"xlupc/internal/transport"
+)
+
+// The crash sweep must be deterministic (byte-identical tables per
+// seed), its baseline point crash-free, and its non-zero rates must
+// actually exercise the crash/recovery machinery while preserving the
+// stressmark checksum (CrashSweep panics internally on divergence).
+func TestCrashSweepShapes(t *testing.T) {
+	sc := Scale{Threads: 8, Nodes: 4}
+	// The pointer mark spans only one or two 400 µs crash windows, so
+	// the non-baseline rate must be high for the dice to hit inside it.
+	rates := []float64{0, 0.9}
+	render := func() ([]CrashPoint, string) {
+		var buf bytes.Buffer
+		pts := PrintCrash(&buf, "pointer", transport.GM(), sc, rates, 150*sim.Us, 1)
+		return pts, buf.String()
+	}
+	pts, out := render()
+	if pts[0].Crashes != 0 || pts[0].StaleNacks != 0 || pts[0].SlowdownPct != 0 {
+		t.Fatalf("rate-0 point is not the crash-free baseline: %+v", pts[0])
+	}
+	if pts[1].Crashes == 0 {
+		t.Fatalf("rate %g produced no crashes: %+v", rates[1], pts[1])
+	}
+	if pts[1].Checksum != pts[0].Checksum {
+		t.Fatalf("checksum diverged across crash rates: %x vs %x", pts[1].Checksum, pts[0].Checksum)
+	}
+	if pts[1].Recovered == 0 || pts[1].RecoveryUs <= 0 {
+		t.Fatalf("no recoveries measured: %+v", pts[1])
+	}
+	_, again := render()
+	if out != again {
+		t.Fatalf("crash table not deterministic:\n%s\nvs\n%s", out, again)
+	}
+}

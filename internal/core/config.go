@@ -108,6 +108,11 @@ type Config struct {
 	// every message individual and the event stream bit-identical to a
 	// build without coalescing.
 	Coalesce *transport.CoalConfig
+	// Crash, when non-nil, schedules deterministic node crash/restart
+	// events keyed by Seed and implies the reliable-delivery layer
+	// (retransmits are what carry traffic across a restart window). Nil
+	// keeps the crash machinery entirely out of the event stream.
+	Crash *CrashConfig
 }
 
 // PinConfig overrides memory-registration behaviour.
@@ -154,6 +159,11 @@ func (c *Config) Validate() error {
 	}
 	if c.Threads%c.Nodes != 0 {
 		return fmt.Errorf("core: threads (%d) must be a multiple of nodes (%d)", c.Threads, c.Nodes)
+	}
+	if c.Crash != nil {
+		if err := c.Crash.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

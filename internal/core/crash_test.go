@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"xlupc/internal/fault"
+	"xlupc/internal/sim"
+	"xlupc/internal/transport"
+)
+
+// crashCfg is cfg plus a crash schedule aggressive enough to fire
+// several times inside the short test workloads (reliable delivery
+// implied by Crash).
+func crashCfg(prof *transport.Profile) Config {
+	c := cfg(8, 4, prof, DefaultCache())
+	c.Crash = &CrashConfig{CrashConfig: fault.CrashConfig{
+		Prob: 0.6, Every: 100 * sim.Us,
+		RestartMin: 30 * sim.Us, RestartMax: 80 * sim.Us,
+		Horizon: 50 * sim.Ms, MaxPerNode: 2,
+	}}
+	return c
+}
+
+// crashWorkload writes a known pattern, then hammers it with randomly
+// targeted reads from every thread. The returned checksum is a pure
+// function of program semantics: it must not depend on whether (or
+// when) nodes crash.
+func crashWorkload(t *testing.T, c Config) (uint64, RunStats) {
+	t.Helper()
+	var sum uint64
+	st := mustRun(t, c, func(th *Thread) {
+		a := th.AllAlloc("A", 256, 8, 32)
+		for j := int64(0); j < 256; j++ {
+			if a.Owner(j) == th.ID() {
+				th.PutUint64(a.At(j), uint64(j)*7+3)
+			}
+		}
+		th.Barrier()
+		var local uint64
+		for i := 0; i < 200; i++ {
+			j := int64(th.Rand().Intn(256))
+			local += th.GetUint64(a.At(j)) ^ uint64(i)
+		}
+		th.Barrier()
+		// Cross-thread rewrites across possible crash windows: the
+		// idempotent value must land exactly once despite parked
+		// retransmits and stale-NACK PUT retries.
+		j := int64((th.ID()*37 + 11) % 256)
+		th.PutUint64(a.At(j), uint64(j)*7+3)
+		th.Barrier()
+		if th.ID() == 0 {
+			for j := int64(0); j < 256; j++ {
+				if got := th.GetUint64(a.At(j)); got != uint64(j)*7+3 {
+					t.Errorf("A[%d] = %d after crashes", j, got)
+				}
+			}
+		}
+		th.Barrier()
+		sum += local
+	})
+	return sum, st
+}
+
+// Crashes must be invisible to program semantics: the checksum of a
+// crash-riddled run equals the fault-free run's, on both transports,
+// and the recovery machinery demonstrably fired.
+func TestCrashRunHealsWithIdenticalResults(t *testing.T) {
+	for _, prof := range []*transport.Profile{transport.GM(), transport.LAPI()} {
+		t.Run(prof.Name, func(t *testing.T) {
+			clean, cst := crashWorkload(t, cfg(8, 4, prof, DefaultCache()))
+			if cst.Crashes != 0 {
+				t.Fatalf("fault-free run recorded %d crashes", cst.Crashes)
+			}
+			sum, st := crashWorkload(t, crashCfg(prof))
+			if sum != clean {
+				t.Fatalf("crash run checksum %d, fault-free %d", sum, clean)
+			}
+			if st.Crashes == 0 {
+				t.Fatal("crash schedule never fired; parameters too timid")
+			}
+			if st.CrashDrops == 0 {
+				t.Fatal("no arrivals dropped at a down NIC")
+			}
+			if st.StaleNacks == 0 || st.StaleInvalidated == 0 {
+				t.Fatalf("stale-epoch path not exercised: %d nacks, %d invalidated",
+					st.StaleNacks, st.StaleInvalidated)
+			}
+			if st.Recovered == 0 || st.RecoveryTime <= 0 {
+				t.Fatalf("no recovery recorded: %d recovered, %v recovery time",
+					st.Recovered, st.RecoveryTime)
+			}
+		})
+	}
+}
+
+// Two crash runs with the same seed must be identical in every
+// virtual-time metric; a different seed must reshuffle the schedule.
+func TestCrashDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) (uint64, RunStats) {
+		c := crashCfg(transport.GM())
+		c.Seed = seed
+		return crashWorkload(t, c)
+	}
+	sa, a := run(3)
+	sb, b := run(3)
+	if sa != sb || a.Elapsed != b.Elapsed || a.Crashes != b.Crashes ||
+		a.StaleNacks != b.StaleNacks || a.StaleInvalidated != b.StaleInvalidated ||
+		a.CrashDrops != b.CrashDrops || a.ParkedRetx != b.ParkedRetx ||
+		a.Recovered != b.Recovered || a.RecoveryTime != b.RecoveryTime ||
+		a.Messages != b.Messages || a.Retransmits != b.Retransmits {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	_, c := run(4)
+	if c.Elapsed == a.Elapsed && c.Crashes == a.Crashes && c.StaleNacks == a.StaleNacks {
+		t.Fatal("different seed produced an identical crash run")
+	}
+}
+
+// CrashFail mode must surface the first stale operation as a typed
+// *CrashError naming the node, incarnation and operation — a clean
+// abort, not a hang or a generic failure.
+func TestCrashFailModeReturnsTypedError(t *testing.T) {
+	c := crashCfg(transport.GM())
+	c.Crash.Mode = CrashFail
+	rt, err := NewRuntime(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Run(func(th *Thread) {
+		a := th.AllAlloc("A", 256, 8, 32)
+		for j := int64(0); j < 256; j++ {
+			if a.Owner(j) == th.ID() {
+				th.PutUint64(a.At(j), uint64(j))
+			}
+		}
+		th.Barrier()
+		for i := 0; i < 200; i++ {
+			th.GetUint64(a.At(int64(th.Rand().Intn(256))))
+		}
+		th.Barrier()
+	})
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CrashError, got %v", err)
+	}
+	if ce.Node < 0 || ce.Node >= c.Nodes || ce.Epoch == 0 {
+		t.Fatalf("implausible crash error: %+v", ce)
+	}
+	if ce.Op != "get" && ce.Op != "put" {
+		t.Fatalf("crash error op %q", ce.Op)
+	}
+}
+
+// An inactive crash configuration must be free: with the schedule
+// present but Prob 0, the run is indistinguishable (to virtual time and
+// traffic) from the same run with Crash nil.
+func TestInactiveCrashConfigIsFree(t *testing.T) {
+	rc := transport.DefaultRelConfig()
+	base := cfg(8, 4, transport.GM(), DefaultCache())
+	base.Rel = &rc
+	cleanSum, cleanSt := crashWorkload(t, base)
+
+	off := base
+	off.Crash = &CrashConfig{} // present but Prob 0: never active
+	sum, st := crashWorkload(t, off)
+	if sum != cleanSum {
+		t.Fatalf("checksum changed: %d vs %d", sum, cleanSum)
+	}
+	if st.Elapsed != cleanSt.Elapsed || st.Messages != cleanSt.Messages ||
+		st.NetBytes != cleanSt.NetBytes || st.RDMAOps != cleanSt.RDMAOps {
+		t.Fatalf("inactive crash config perturbed the run:\n%+v\n%+v", st, cleanSt)
+	}
+	if st.Crashes != 0 || st.StaleNacks != 0 || st.ParkedRetx != 0 {
+		t.Fatalf("inactive crash config did crash work: %+v", st)
+	}
+}

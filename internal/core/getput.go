@@ -26,22 +26,26 @@ const piggybackBytes = 8
 // piggyback bytes a batch of misses adds to the wire.
 const maxPiggybackPairs = 4
 
-// addrPair is one piggybacked (handle, base) correlation. Replies
-// serviced from the same coalesced frame share the pairs they pinned,
-// so a single batch of misses pre-populates several cache entries at
-// the initiator.
+// addrPair is one piggybacked (handle, base) correlation, stamped with
+// the advertising node's incarnation epoch. Replies serviced from the
+// same coalesced frame share the pairs they pinned, so a single batch
+// of misses pre-populates several cache entries at the initiator. The
+// epoch rides inside the existing piggybackBytes wire accounting (a
+// simulation fiction: a real header would pack it into the address's
+// spare bits), so enabling the crash machinery changes no wire sizes.
 type addrPair struct {
-	H    svd.Handle
-	Base mem.Addr
+	H     svd.Handle
+	Base  mem.Addr
+	Epoch uint32
 }
 
-// pairsFor shares a freshly advertised (handle, base) pair with the
-// other replies of the same coalesced frame and collects the pairs this
-// reply should carry (its own base travels in the reply header, not
-// here). extra is the total piggyback wire cost. For individual
+// pairsFor shares a freshly advertised (handle, base, epoch) pair with
+// the other replies of the same coalesced frame and collects the pairs
+// this reply should carry (its own base travels in the reply header,
+// not here). extra is the total piggyback wire cost. For individual
 // messages (no frame scratch) it degenerates to the original
 // single-address accounting.
-func pairsFor(msg *transport.Msg, h svd.Handle, base mem.Addr) (pairs []addrPair, extra int) {
+func pairsFor(msg *transport.Msg, h svd.Handle, base mem.Addr, epoch uint32) (pairs []addrPair, extra int) {
 	if base != 0 {
 		extra = piggybackBytes
 	}
@@ -61,7 +65,7 @@ func pairsFor(msg *transport.Msg, h svd.Handle, base mem.Addr) (pairs []addrPair
 			}
 		}
 		if !known && len(*acc) < maxPiggybackPairs {
-			*acc = append(*acc, addrPair{H: h, Base: base})
+			*acc = append(*acc, addrPair{H: h, Base: base, Epoch: epoch})
 		}
 	}
 	for _, pr := range *acc {
@@ -91,6 +95,7 @@ type getReq struct {
 type getRep struct {
 	H     svd.Handle
 	Base  mem.Addr // 0: not piggybacked (pin failed or WantAddr false)
+	Epoch uint32   // target incarnation that advertised Base
 	Done  *sim.Completion
 	Pairs []addrPair // extra piggybacked addresses from the same frame
 }
@@ -110,6 +115,7 @@ type putReq struct {
 type putAck struct {
 	H     svd.Handle
 	Base  mem.Addr
+	Epoch uint32
 	Fence *sim.Counter
 	Done  *sim.Completion
 	Pairs []addrPair
@@ -125,36 +131,45 @@ type rts struct {
 }
 
 type rtr struct {
-	H    svd.Handle
-	Base mem.Addr
-	OK   bool // pinning succeeded; false forces the eager fallback
-	Done *sim.Completion
+	H     svd.Handle
+	Base  mem.Addr
+	Epoch uint32
+	OK    bool // pinning succeeded; false forces the eager fallback
+	Done  *sim.Completion
 }
 
 type rtrResult struct {
-	base mem.Addr
-	ok   bool
+	base  mem.Addr
+	epoch uint32
+	ok    bool
 }
 
 // --- Target-side handlers ----------------------------------------------
 
 // pinChunk applies the greedy pin-everything policy on first remote
 // access: the whole local chunk of the object is registered at once.
-// It returns the base address to advertise, or 0 if pinning failed
-// (registration limits), and charges the registration cost to the
-// dispatcher (the target CPU on non-overlapping transports).
-func (ns *nodeState) pinChunk(p *sim.Proc, cb *svd.ControlBlock) mem.Addr {
+// It returns the (base address, incarnation epoch) pair to advertise —
+// base 0 if pinning failed (registration limits) — and charges the
+// registration cost to the dispatcher (the target CPU on
+// non-overlapping transports).
+func (ns *nodeState) pinChunk(p *sim.Proc, cb *svd.ControlBlock) (mem.Addr, uint32) {
 	if !cb.HasLocal {
 		panic(fmt.Sprintf("core: node %d asked to pin %v, which it does not own", ns.id, cb.Handle))
 	}
 	cost, err := ns.tn.Pins.Pin(cb.LocalBase, cb.LocalSize, cb.Handle.Key(), p.Now())
+	// Capture the advertised pair before sleeping the registration cost:
+	// a crash mid-sleep relocates the chunk and bumps the epoch together,
+	// so the initiator receives a coherent stale (base, epoch) — which
+	// heals through a clean stale-NACK — never a fresh base under an old
+	// epoch or vice versa.
+	base, epoch := cb.LocalBase, ns.tn.Epoch
 	if cost > 0 {
 		p.Sleep(cost)
 	}
 	if err != nil {
-		return 0
+		return 0, epoch
 	}
-	return cb.LocalBase
+	return base, epoch
 }
 
 func (rt *Runtime) handleGetReq(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
@@ -167,9 +182,10 @@ func (rt *Runtime) handleGetReq(p *sim.Proc, n *transport.Node, msg *transport.M
 	}
 	msg.Span.Phase(telemetry.PhaseSVDResolve, t0, p.Now())
 	var base mem.Addr
+	var epoch uint32
 	if m.WantAddr {
 		t0 = p.Now()
-		base = ns.pinChunk(p, cb)
+		base, epoch = ns.pinChunk(p, cb)
 		msg.Span.Phase(telemetry.PhaseRegistration, t0, p.Now())
 	}
 	// Eager reply: the data is copied into a (pre-registered) bounce
@@ -178,8 +194,8 @@ func (rt *Runtime) handleGetReq(p *sim.Proc, n *transport.Node, msg *transport.M
 	p.Sleep(sim.BytesTime(m.Size, rt.cfg.Profile.CopyByteTime))
 	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
 	data := n.Mem.ReadAlloc(cb.LocalBase+mem.Addr(m.Off), m.Size)
-	pairs, extra := pairsFor(msg, m.H, base)
-	rt.M.ReplyToSpan(p, msg, hGetRep, &getRep{H: m.H, Base: base, Done: m.Done, Pairs: pairs}, data, extra, msg.Span)
+	pairs, extra := pairsFor(msg, m.H, base, epoch)
+	rt.M.ReplyToSpan(p, msg, hGetRep, &getRep{H: m.H, Base: base, Epoch: epoch, Done: m.Done, Pairs: pairs}, data, extra, msg.Span)
 }
 
 func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
@@ -189,7 +205,7 @@ func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.M
 	t0 := p.Now()
 	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
 	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
-	rt.insertPiggyback(p, ns, msg.Src, m.H, m.Base, m.Pairs, msg.Span)
+	rt.insertPiggyback(p, ns, msg.Src, m.H, m.Base, m.Epoch, m.Pairs, msg.Span)
 	m.Done.Complete(msg.Payload)
 }
 
@@ -199,14 +215,14 @@ func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.M
 // across the sub-messages of a coalesced frame. Every new entry pays
 // the insert cost; pairs already resident (an earlier reply of the same
 // frame filled them) are skipped without charge.
-func (rt *Runtime) insertPiggyback(p *sim.Proc, ns *nodeState, src int, own svd.Handle, base mem.Addr, pairs []addrPair, span *telemetry.Span) {
+func (rt *Runtime) insertPiggyback(p *sim.Proc, ns *nodeState, src int, own svd.Handle, base mem.Addr, epoch uint32, pairs []addrPair, span *telemetry.Span) {
 	if ns.cache == nil || (base == 0 && len(pairs) == 0) {
 		return
 	}
 	t0 := p.Now()
 	if base != 0 {
 		p.Sleep(rt.cfg.Profile.CacheInsertCost)
-		ns.cache.Insert(cacheKey(own, src), base)
+		ns.cache.InsertEpoch(cacheKey(own, src), base, epoch)
 	}
 	for _, pr := range pairs {
 		if pr.Base == 0 || pr.H == own {
@@ -217,7 +233,7 @@ func (rt *Runtime) insertPiggyback(p *sim.Proc, ns *nodeState, src int, own svd.
 			continue
 		}
 		p.Sleep(rt.cfg.Profile.CacheInsertCost)
-		ns.cache.Insert(k, pr.Base)
+		ns.cache.InsertEpoch(k, pr.Base, pr.Epoch)
 	}
 	span.Phase(telemetry.PhaseCacheInsert, t0, p.Now())
 }
@@ -232,9 +248,10 @@ func (rt *Runtime) handlePutReq(p *sim.Proc, n *transport.Node, msg *transport.M
 	}
 	msg.Span.Phase(telemetry.PhaseSVDResolve, t0, p.Now())
 	var base mem.Addr
+	var epoch uint32
 	if m.WantAddr {
 		t0 = p.Now()
-		base = ns.pinChunk(p, cb)
+		base, epoch = ns.pinChunk(p, cb)
 		msg.Span.Phase(telemetry.PhaseRegistration, t0, p.Now())
 	}
 	// Copy from the receive bounce buffer into place.
@@ -242,15 +259,15 @@ func (rt *Runtime) handlePutReq(p *sim.Proc, n *transport.Node, msg *transport.M
 	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
 	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
 	n.Mem.Write(cb.LocalBase+mem.Addr(m.Off), msg.Payload)
-	pairs, extra := pairsFor(msg, m.H, base)
+	pairs, extra := pairsFor(msg, m.H, base, epoch)
 	rt.M.ReplyToSpan(p, msg, hPutAck,
-		&putAck{H: m.H, Base: base, Fence: m.Fence, Done: m.Done, Pairs: pairs}, nil, extra, msg.Span)
+		&putAck{H: m.H, Base: base, Epoch: epoch, Fence: m.Fence, Done: m.Done, Pairs: pairs}, nil, extra, msg.Span)
 }
 
 func (rt *Runtime) handlePutAck(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*putAck)
-	rt.insertPiggyback(p, ns, msg.Src, m.H, m.Base, m.Pairs, msg.Span)
+	rt.insertPiggyback(p, ns, msg.Src, m.H, m.Base, m.Epoch, m.Pairs, msg.Span)
 	m.Fence.Arrive()
 	if m.Done != nil {
 		m.Done.Complete(nil)
@@ -267,10 +284,10 @@ func (rt *Runtime) handleRTS(p *sim.Proc, n *transport.Node, msg *transport.Msg)
 	}
 	msg.Span.Phase(telemetry.PhaseSVDResolve, t0, p.Now())
 	t0 = p.Now()
-	base := ns.pinChunk(p, cb) // rendezvous always registers
+	base, epoch := ns.pinChunk(p, cb) // rendezvous always registers
 	msg.Span.Phase(telemetry.PhaseRegistration, t0, p.Now())
 	rt.M.ReplyAMSpan(p, n.ID, msg.Src, hRTR,
-		&rtr{H: m.H, Base: base, OK: base != 0, Done: m.Done}, nil, piggybackBytes, msg.Span)
+		&rtr{H: m.H, Base: base, Epoch: epoch, OK: base != 0, Done: m.Done}, nil, piggybackBytes, msg.Span)
 }
 
 func (rt *Runtime) handleRTR(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
@@ -279,10 +296,10 @@ func (rt *Runtime) handleRTR(p *sim.Proc, n *transport.Node, msg *transport.Msg)
 	if m.OK && ns.cache != nil {
 		t0 := p.Now()
 		p.Sleep(rt.cfg.Profile.CacheInsertCost)
-		ns.cache.Insert(cacheKey(m.H, msg.Src), m.Base)
+		ns.cache.InsertEpoch(cacheKey(m.H, msg.Src), m.Base, m.Epoch)
 		msg.Span.Phase(telemetry.PhaseCacheInsert, t0, p.Now())
 	}
-	m.Done.Complete(rtrResult{base: m.Base, ok: m.OK})
+	m.Done.Complete(rtrResult{base: m.Base, epoch: m.Epoch, ok: m.OK})
 }
 
 // --- Initiator-side operations ------------------------------------------
@@ -323,19 +340,29 @@ func (t *Thread) getRun(a *SharedArray, idx int64, dst []byte) {
 		t0 := t.p.Now()
 		t.p.Sleep(prof.CacheLookupCost)
 		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
-		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+		if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
 			// RDMA fast path: final remote address computed locally.
 			span.SetProto("rdma")
-			data, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), size, span)
+			data, nack, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), size, ep, span)
 			if ok {
 				copy(dst, data)
 				return
 			}
-			// The target deregistered the region (limited pinning):
-			// drop the stale entry and fall through to the slow path,
-			// which will repin and repopulate.
-			t.ns.cache.Remove(cacheKey(a.h, rn))
-			t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
+			if nack.Stale {
+				// The target restarted under a new incarnation: flush
+				// every cached address for it, then fall through to the
+				// AM path, whose reply re-piggybacks the fresh base.
+				if !t.healStale(rn, nack.Epoch, "get", span) {
+					return
+				}
+				t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="stale_epoch"`, 1)
+			} else {
+				// The target deregistered the region (limited pinning):
+				// drop the stale entry and fall through to the slow path,
+				// which will repin and repopulate.
+				t.ns.cache.Remove(cacheKey(a.h, rn))
+				t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
+			}
 		}
 	}
 	if size <= prof.EagerMax || !prof.SupportsRDMA {
@@ -354,13 +381,20 @@ func (t *Thread) getRun(a *SharedArray, idx int64, dst []byte) {
 		t.eagerGet(a, rn, off, dst, span) // registration refused: copy path
 		return
 	}
-	data, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), size, span)
-	if !ok { // evicted between the RTR and the transfer
-		if t.ns.cache != nil {
-			t.ns.cache.Remove(cacheKey(a.h, rn))
+	data, nack, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), size, res.epoch, span)
+	if !ok {
+		if nack.Stale { // the target restarted between the RTR and the transfer
+			if !t.healStale(rn, nack.Epoch, "get", span) {
+				return
+			}
+			t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="stale_epoch"`, 1)
+		} else { // evicted between the RTR and the transfer
+			if t.ns.cache != nil {
+				t.ns.cache.Remove(cacheKey(a.h, rn))
+			}
+			t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
 		}
 		span.SetProto("eager")
-		t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
 		t.eagerGet(a, rn, off, dst, span)
 		return
 	}
@@ -423,10 +457,10 @@ func (t *Thread) putRun(a *SharedArray, idx int64, src []byte) {
 		t0 := t.p.Now()
 		t.p.Sleep(prof.CacheLookupCost)
 		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
-		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+		if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
 			span.SetProto("rdma")
 			data := append([]byte(nil), src...)
-			remote := t.rt.M.RDMAPutSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), data, span)
+			remote := t.rt.M.RDMAPutSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), data, ep, span)
 			t.fence.Add(1)
 			t.watchPut(remote, a, rn, off, data, span, nil)
 			return
@@ -459,7 +493,7 @@ func (t *Thread) putRun(a *SharedArray, idx int64, src []byte) {
 		return
 	}
 	data := append([]byte(nil), src...)
-	remote := t.rt.M.RDMAPutSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), data, span)
+	remote := t.rt.M.RDMAPutSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), data, res.epoch, span)
 	t.fence.Add(1)
 	t.watchPut(remote, a, rn, off, data, span, nil)
 }
@@ -470,22 +504,48 @@ func (t *Thread) putRun(a *SharedArray, idx int64, src []byte) {
 // drops the stale cache entry and reissues the write over the
 // active-message path from a helper process; neither the fence nor the
 // handle releases until the retry's ACK lands, so fence semantics
-// survive eviction races.
+// survive eviction races. A stale-epoch NACK (the target restarted)
+// first flushes every cached address for the node, then retries with
+// WantAddr so the ACK re-piggybacks the fresh base — or aborts the run
+// under CrashFail.
 func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off int64, data []byte, span *telemetry.Span, done *sim.Completion) {
 	f := t.fence
 	remote.Then(func(v any) {
-		if _, nack := v.(transport.Nack); !nack {
+		nk, isNack := v.(transport.Nack)
+		if !isNack {
 			f.Arrive()
 			if done != nil {
 				done.Complete(nil)
 			}
 			return
 		}
+		prof := t.rt.cfg.Profile
+		if nk.Stale {
+			// Runs in kernel-callback context: the invalidation sweep and
+			// its cost move into the helper process.
+			if t.rt.staleAbort(rn, nk.Epoch, "put", t.rt.K.Now()) {
+				return
+			}
+			t.rt.tel.Add("xlupc_put_retries_total", `reason="stale_epoch"`, 1)
+			t.rt.K.Spawn(fmt.Sprintf("put-stale-retry %d", t.id), func(p *sim.Proc) {
+				t0 := p.Now()
+				n := t.ns.cache.InvalidateNode(int32(rn))
+				if n > 0 {
+					p.Sleep(sim.Time(n) * prof.CacheLookupCost)
+				}
+				span.Phase(telemetry.PhaseEpochRecovery, t0, p.Now())
+				t.rt.staleInvalidated += int64(n)
+				t.rt.tel.Add("xlupc_stale_recoveries_total", `op="put"`, 1)
+				p.Sleep(sim.BytesTime(len(data), prof.CopyByteTime))
+				t.rt.M.SendAMSpan(p, t.ns.id, rn, hPutReq,
+					&putReq{H: a.h, Off: off, WantAddr: t.ns.cache != nil, Fence: f, Done: done}, data, 0, span)
+			})
+			return
+		}
 		if t.ns.cache != nil {
 			t.ns.cache.Remove(cacheKey(a.h, rn))
 		}
 		t.rt.tel.Add("xlupc_put_retries_total", `reason="nack"`, 1)
-		prof := t.rt.cfg.Profile
 		t.rt.K.Spawn(fmt.Sprintf("put-retry %d", t.id), func(p *sim.Proc) {
 			p.Sleep(sim.BytesTime(len(data), prof.CopyByteTime))
 			t.rt.M.SendAMSpan(p, t.ns.id, rn, hPutReq,

@@ -195,19 +195,29 @@ func (t *Thread) nbGetRun(op *nbOp, a *SharedArray, idx int64, dst []byte) {
 		t0 := t.p.Now()
 		t.p.Sleep(prof.CacheLookupCost)
 		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
-		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+		if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
 			span.SetProto("rdma")
-			res := t.rt.M.RDMAGetStart(t.p, t.ns.id, rn, base, base+mem.Addr(off), size, span)
+			res := t.rt.M.RDMAGetStart(t.p, t.ns.id, rn, base, base+mem.Addr(off), size, ep, span)
 			op.subs = append(op.subs, nbSub{done: res, fin: func() {
 				val := res.Value()
 				t.rt.K.Recycle(res)
-				if _, nack := val.(transport.Nack); nack {
-					// The target deregistered the region mid-flight:
-					// drop the stale entry and redo the run over the
-					// eager path, synchronously — we are already inside
-					// Sync, so blocking here is the semantics.
-					t.ns.cache.Remove(cacheKey(a.h, rn))
-					t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
+				if nk, nack := val.(transport.Nack); nack {
+					// Redo the run over the eager path, synchronously —
+					// we are already inside Sync, so blocking here is the
+					// semantics. A stale epoch (the target restarted)
+					// flushes the whole node from the cache first; a
+					// plain NACK (the target deregistered the region
+					// mid-flight) drops just the stale entry.
+					if nk.Stale {
+						if !t.healStale(rn, nk.Epoch, "get", span) {
+							finish()
+							return
+						}
+						t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="stale_epoch"`, 1)
+					} else {
+						t.ns.cache.Remove(cacheKey(a.h, rn))
+						t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
+					}
 					span.SetProto("eager")
 					t.eagerGet(a, rn, off, dst, span)
 				} else {
@@ -262,10 +272,10 @@ func (t *Thread) nbPutRun(op *nbOp, a *SharedArray, idx int64, src []byte) {
 		t0 := t.p.Now()
 		t.p.Sleep(prof.CacheLookupCost)
 		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
-		if base, hit := t.ns.cache.Lookup(cacheKey(a.h, rn)); hit {
+		if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
 			span.SetProto("rdma")
 			data := append([]byte(nil), src...)
-			remote := t.rt.M.RDMAPutStart(t.p, t.ns.id, rn, base, base+mem.Addr(off), data, span)
+			remote := t.rt.M.RDMAPutStart(t.p, t.ns.id, rn, base, base+mem.Addr(off), data, ep, span)
 			t.fence.Add(1)
 			t.watchPut(remote, a, rn, off, data, span, done)
 			op.subs = append(op.subs, nbSub{done: done, fin: func() {

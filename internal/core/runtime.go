@@ -46,6 +46,12 @@ type Runtime struct {
 
 	putCache bool // effective PUT-caching decision
 	ran      bool
+
+	// Crash orchestration (all zero-valued when cfg.Crash is nil).
+	crashTimers      []*sim.Timer // pending scheduled crashes
+	liveBodies       int          // program threads still running
+	crashErr         error        // first CrashFail abort
+	staleInvalidated int64        // cache entries flushed by stale-NACK recovery
 }
 
 // nodeState is the per-node runtime state layered over the transport
@@ -77,7 +83,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	cfg.Profile = cfg.effectiveProfile()
 	m := transport.NewMachine(k, cfg.Profile, cfg.Nodes)
 	m.Tel = cfg.Telemetry
-	if cfg.Fault != nil || cfg.Rel != nil {
+	if cfg.Fault != nil || cfg.Rel != nil || cfg.Crash != nil {
 		rc := transport.DefaultRelConfig()
 		if cfg.Rel != nil {
 			rc = *cfg.Rel
@@ -112,6 +118,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		rt.nodes[i] = ns
 	}
 	rt.registerHandlers()
+	rt.scheduleCrashes()
 	rt.threads = make([]*Thread, cfg.Threads)
 	for t := 0; t < cfg.Threads; t++ {
 		rt.threads[t] = newThread(rt, t)
@@ -145,21 +152,33 @@ func (rt *Runtime) Run(body func(t *Thread)) (RunStats, error) {
 	// are still parked on their goroutines. Release them so repeated
 	// simulations (sweeps, benchmarks) do not accumulate goroutines.
 	defer rt.K.Shutdown()
+	rt.liveBodies = len(rt.threads)
 	for _, th := range rt.threads {
 		th := th
 		rt.K.Spawn(fmt.Sprintf("upc%d", th.id), func(p *sim.Proc) {
 			th.p = p
 			body(th)
 			th.Fence() // drain outstanding PUTs before exiting
+			rt.liveBodies--
+			if rt.liveBodies == 0 {
+				// The program is over: crashes scheduled beyond its end
+				// must not fire — they would advance the clock (inflating
+				// the makespan) and mutate state nothing will observe.
+				rt.cancelCrashTimers()
+			}
 		})
 	}
 	err := rt.K.Run()
 	// A packet that exhausted its retry budget stopped the kernel; the
 	// typed failure outranks whatever secondary state Run reported, and
 	// the deferred Shutdown unwinds the stranded processes — a clean
-	// abort instead of a deadlock.
+	// abort instead of a deadlock. A CrashFail abort outranks both: the
+	// stale operation is the root cause of anything downstream.
 	if te := rt.M.FatalError(); te != nil {
 		err = te
+	}
+	if rt.crashErr != nil {
+		err = rt.crashErr
 	}
 	return rt.stats(), err
 }
@@ -207,6 +226,15 @@ type RunStats struct {
 	CoalMsgs       int64 // sub-messages that travelled inside a frame
 	CoalFrames     int64 // coalesced wire frames flushed
 	CoalSavedBytes int64 // header bytes saved versus individual sends
+
+	// Crash/restart fault domain (all zero when Crash is nil).
+	Crashes          int64    // nodes taken down
+	CrashDrops       int64    // arrivals dropped at a down NIC
+	StaleNacks       int64    // RDMA ops NACKed for a stale target epoch
+	StaleInvalidated int64    // cache entries flushed by stale-NACK recovery
+	ParkedRetx       int64    // retransmits parked against a restart timer
+	Recovered        int64    // restarts confirmed by a post-restart RDMA op
+	RecoveryTime     sim.Time // sum of restart -> first-successful-op gaps
 }
 
 func (rt *Runtime) stats() RunStats {
@@ -248,6 +276,14 @@ func (rt *Runtime) stats() RunStats {
 	st.CoalMsgs = cs.Msgs
 	st.CoalFrames = cs.Frames
 	st.CoalSavedBytes = cs.SavedBytes
+	crs := rt.M.CrashStats()
+	st.Crashes = crs.Crashes
+	st.CrashDrops = fs.CrashDrops
+	st.StaleNacks = crs.StaleNacks
+	st.StaleInvalidated = rt.staleInvalidated
+	st.ParkedRetx = rs.Parked
+	st.Recovered = crs.Recovered
+	st.RecoveryTime = crs.RecoveryTime
 	for _, th := range rt.threads {
 		st.Gets += th.gets
 		st.Puts += th.puts
@@ -286,6 +322,17 @@ func (rt *Runtime) syncRegistry(st RunStats) {
 		tel.Add("xlupc_rel_retransmits_total", "", st.Retransmits)
 		tel.Add("xlupc_rel_dup_suppressed_total", "", st.DupSuppressed)
 		tel.Add("xlupc_rel_acks_total", "", st.AcksSent)
+	}
+	// Crash metrics likewise only exist when a crash schedule is
+	// configured, so exporter output with Crash nil stays identical.
+	if rt.cfg.Crash != nil {
+		tel.Add("xlupc_crash_nodes_total", "", st.Crashes)
+		tel.Add("xlupc_crash_drops_total", "", st.CrashDrops)
+		tel.Add("xlupc_crash_stale_nacks_total", "", st.StaleNacks)
+		tel.Add("xlupc_crash_stale_invalidated_total", "", st.StaleInvalidated)
+		tel.Add("xlupc_crash_parked_retx_total", "", st.ParkedRetx)
+		tel.Add("xlupc_crash_recovered_total", "", st.Recovered)
+		tel.Set("xlupc_crash_recovery_seconds", "", st.RecoveryTime.Secs())
 	}
 	for _, ns := range rt.nodes {
 		node := `node="` + strconv.Itoa(ns.id) + `"`

@@ -55,11 +55,12 @@ type Corrupted struct{ Inner any }
 
 // FaultStats counts the hazards the injector actually applied.
 type FaultStats struct {
-	Drops    int64 // packets vanished on the wire
-	Corrupts int64 // packets delivered with a failing checksum
-	Dups     int64 // packets delivered twice
-	Delayed  int64 // packets given extra wire latency
-	Stalled  int64 // arrivals held by a NIC-stall window
+	Drops      int64 // packets vanished on the wire
+	Corrupts   int64 // packets delivered with a failing checksum
+	Dups       int64 // packets delivered twice
+	Delayed    int64 // packets given extra wire latency
+	Stalled    int64 // arrivals held by a NIC-stall window
+	CrashDrops int64 // arrivals dropped into a node's crash/restart window
 }
 
 // Fabric is the simulated interconnect instance.
@@ -75,6 +76,12 @@ type Fabric struct {
 	// being pushed onto the destination port's queues (the reliable
 	// transport interposes here for seq/ACK/dedup handling).
 	hook func(dst int, class Class, m any)
+
+	// down[n], when the slice exists, is the end of node n's current
+	// crash/restart window: packets arriving before it are dropped at
+	// the dead NIC. Lazily allocated by SetDown so crash-free runs keep
+	// a nil check as their only overhead.
+	down []sim.Time
 
 	// Accounting.
 	messages int64
@@ -129,6 +136,37 @@ func (f *Fabric) SetDeliveryHook(fn func(dst int, class Class, m any)) { f.hook 
 
 // FaultStats reports the hazards applied so far.
 func (f *Fabric) FaultStats() FaultStats { return f.faults }
+
+// SetDown marks node n's NIC unreachable until the given time: every
+// packet arriving before it is dropped (the node is mid-restart). The
+// crash orchestrator calls this at each crash instant.
+func (f *Fabric) SetDown(n int, until sim.Time) {
+	if f.down == nil {
+		f.down = make([]sim.Time, len(f.ports))
+	}
+	f.down[n] = until
+}
+
+// DownUntil reports the end of node n's current down window (0, i.e.
+// the past, when the node was never crashed). The reliable layer
+// consults it to park retransmits toward a dead peer.
+func (f *Fabric) DownUntil(n int) sim.Time {
+	if f.down == nil {
+		return 0
+	}
+	return f.down[n]
+}
+
+// dropDown drops an arrival landing inside dst's down window. It runs
+// at arrival time — a packet can be sent before a crash and arrive
+// mid-restart — so the check lives in the delivery callback.
+func (f *Fabric) dropDown(dst int) bool {
+	if f.down == nil || f.k.Now() >= f.down[dst] {
+		return false
+	}
+	f.faults.CrashDrops++
+	return true
+}
 
 // Inject sends a message of size wire bytes from src to dst, arriving
 // on dst's queue for the given class. The calling process must already
@@ -211,10 +249,18 @@ func (f *Fabric) deliver(seq uint64, src, dst int, class Class, m any) sim.Time 
 func (f *Fabric) arriveAt(at sim.Time, dst int, class Class, m any) {
 	port := f.ports[dst]
 	if hook := f.hook; hook != nil {
-		f.k.At(at, func() { hook(dst, class, m) })
+		f.k.At(at, func() {
+			if f.dropDown(dst) {
+				return
+			}
+			hook(dst, class, m)
+		})
 		return
 	}
 	f.k.At(at, func() {
+		if f.dropDown(dst) {
+			return
+		}
 		switch class {
 		case ClassDMA:
 			port.DMA.Push(m)

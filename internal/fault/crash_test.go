@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"xlupc/internal/sim"
+)
+
+func crashCfg() CrashConfig {
+	return CrashConfig{
+		Prob:       0.4,
+		Every:      500 * sim.Us,
+		RestartMin: 100 * sim.Us,
+		RestartMax: 300 * sim.Us,
+		Horizon:    20 * sim.Ms,
+	}
+}
+
+func TestCrashScheduleDeterministic(t *testing.T) {
+	a := CrashSchedule(7, crashCfg(), 8)
+	b := CrashSchedule(7, crashCfg(), 8)
+	if len(a) == 0 {
+		t.Fatal("no crashes scheduled at prob 0.4 over 40 windows")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := CrashSchedule(8, crashCfg(), 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestCrashScheduleSortedAndBounded(t *testing.T) {
+	cfg := crashCfg()
+	evs := CrashSchedule(3, cfg, 6)
+	for i, ev := range evs {
+		if ev.At <= 0 || ev.At >= cfg.Horizon {
+			t.Fatalf("event %d at %v outside (0, horizon)", i, ev.At)
+		}
+		if d := ev.BackAt - ev.At; d < cfg.RestartMin || d > cfg.RestartMax {
+			t.Fatalf("event %d restart delay %v outside [%v, %v]", i, d, cfg.RestartMin, cfg.RestartMax)
+		}
+		if i > 0 && (evs[i-1].At > ev.At || (evs[i-1].At == ev.At && evs[i-1].Node >= ev.Node)) {
+			t.Fatalf("events %d,%d out of (At, Node) order", i-1, i)
+		}
+	}
+}
+
+// A node never crashes while it is already down: per node, each crash
+// must start at or after the previous restart completed.
+func TestCrashScheduleNoOverlappingDownWindows(t *testing.T) {
+	cfg := crashCfg()
+	cfg.Prob = 0.9 // force dense schedules
+	cfg.RestartMax = 800 * sim.Us
+	evs := CrashSchedule(11, cfg, 4)
+	last := map[int]sim.Time{}
+	for _, ev := range evs {
+		if ev.At < last[ev.Node] {
+			t.Fatalf("node %d crashes at %v while down until %v", ev.Node, ev.At, last[ev.Node])
+		}
+		last[ev.Node] = ev.BackAt
+	}
+}
+
+func TestCrashScheduleMaxPerNode(t *testing.T) {
+	cfg := crashCfg()
+	cfg.Prob = 0.9
+	cfg.MaxPerNode = 2
+	per := map[int]int{}
+	for _, ev := range CrashSchedule(5, cfg, 8) {
+		per[ev.Node]++
+		if per[ev.Node] > 2 {
+			t.Fatalf("node %d exceeded MaxPerNode", ev.Node)
+		}
+	}
+}
+
+func TestCrashScheduleInactive(t *testing.T) {
+	if evs := CrashSchedule(1, CrashConfig{}, 4); evs != nil {
+		t.Fatalf("zero config scheduled %d crashes", len(evs))
+	}
+	cfg := crashCfg()
+	cfg.Prob = 0
+	if evs := CrashSchedule(1, cfg, 4); evs != nil {
+		t.Fatal("prob 0 scheduled crashes")
+	}
+}
+
+func TestCrashConfigValidate(t *testing.T) {
+	good := crashCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*CrashConfig){
+		"nan prob":        func(c *CrashConfig) { c.Prob = math.NaN() },
+		"negative prob":   func(c *CrashConfig) { c.Prob = -0.1 },
+		"prob one":        func(c *CrashConfig) { c.Prob = 1 },
+		"zero window":     func(c *CrashConfig) { c.Every = 0 },
+		"zero horizon":    func(c *CrashConfig) { c.Horizon = 0 },
+		"inverted delays": func(c *CrashConfig) { c.RestartMax = c.RestartMin - 1 },
+	} {
+		c := crashCfg()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

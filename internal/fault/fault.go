@@ -91,6 +91,9 @@ const (
 	tagDupLag
 	tagStall
 	tagStallLen
+	tagCrash
+	tagCrashAt
+	tagCrashLen
 )
 
 // draw returns a uniform [0,1) variate for (packet seq, hazard tag).
@@ -153,6 +156,18 @@ func (in *Injector) StallClear(node int, t sim.Time) sim.Time {
 		}
 	}
 	return clear
+}
+
+// Mix folds the given values into one well-mixed 64-bit hash. The crash
+// orchestrator derives the restarted allocator's origin from
+// (seed, node, epoch) with it, keeping relocation a pure function of
+// the run configuration.
+func Mix(vals ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		h = splitmix64(h ^ v*0xD1B54A32D192ED03)
+	}
+	return h
 }
 
 // unit maps a 64-bit hash to a uniform [0,1) float.

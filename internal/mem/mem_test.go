@@ -408,3 +408,137 @@ func TestPinLimitedEvictionTimeAccounting(t *testing.T) {
 		t.Fatalf("eviction DeregTime = %v, want %v", pt.DeregTime-before, want)
 	}
 }
+
+// Back-to-back over-limit pins must each pay their own eviction chain:
+// a Pin that evicts mid-call charges the victim's deregistration, and a
+// second over-limit Pin immediately after does it all again.
+func TestPinLimitedBackToBackEvictionsAtTotalLimit(t *testing.T) {
+	m := testModel()
+	m.MaxTotal = 2 * PageSize
+	pt := NewPinTable(0, m, PinLimited)
+	if _, err := pt.Pin(0x1000, 2*PageSize, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := m.DeregCost(2*PageSize) + m.RegCost(2*PageSize)
+	for i := 0; i < 3; i++ {
+		base := Addr(0x2000 + i*0x1000)
+		cost, err := pt.Pin(base, 2*PageSize, uint64(2+i), sim.Time(1+i))
+		if err != nil {
+			t.Fatalf("pin %d: %v", i, err)
+		}
+		if cost != want {
+			t.Fatalf("pin %d cost = %v, want %v (eviction + registration)", i, cost, want)
+		}
+		if pt.TotalPinned() != 2*PageSize || pt.Live() != 1 {
+			t.Fatalf("pin %d: total=%d live=%d", i, pt.TotalPinned(), pt.Live())
+		}
+	}
+	if pt.Evicted != 3 {
+		t.Fatalf("evicted = %d, want 3", pt.Evicted)
+	}
+	if pt.DeregTime != 3*m.DeregCost(2*PageSize) {
+		t.Fatalf("DeregTime = %v, want %v", pt.DeregTime, 3*m.DeregCost(2*PageSize))
+	}
+}
+
+// Regression: when an over-large request drains the whole table and
+// still cannot fit, the deregistrations it performed are real — the
+// returned cost must match the DeregTime the table accrued, not zero.
+func TestPinLimitedErrorReturnsEvictionCost(t *testing.T) {
+	m := testModel()
+	m.MaxTotal = 2 * PageSize
+	m.MaxPerObject = 0
+	pt := NewPinTable(0, m, PinLimited)
+	if _, err := pt.Pin(0x1000, PageSize, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Pin(0x2000, PageSize, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := pt.Pin(0x3000, 4*PageSize, 3, 2)
+	if err == nil {
+		t.Fatal("expected total-limit error")
+	}
+	if _, ok := err.(*ErrPinLimit); !ok {
+		t.Fatalf("err type %T", err)
+	}
+	want := 2 * m.DeregCost(PageSize)
+	if cost != want {
+		t.Fatalf("error-path cost = %v, want %v (two evictions happened)", cost, want)
+	}
+	if pt.DeregTime != want {
+		t.Fatalf("DeregTime = %v, want %v", pt.DeregTime, want)
+	}
+	if pt.Live() != 0 || pt.TotalPinned() != 0 {
+		t.Fatalf("table not drained: live=%d total=%d", pt.Live(), pt.TotalPinned())
+	}
+}
+
+func TestPinTableReset(t *testing.T) {
+	pt := NewPinTable(0, testModel(), PinAll)
+	if _, err := pt.Pin(0x1000, PageSize, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Pin(0x2000, 2*PageSize, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := pt.RegTime
+	if n := pt.Reset(); n != 2 {
+		t.Fatalf("reset dropped %d, want 2", n)
+	}
+	if pt.Live() != 0 || pt.TotalPinned() != 0 || pt.IsPinned(0x1000) {
+		t.Fatal("reset left registrations behind")
+	}
+	// A crash loses state instantly: no deregistration time, and the
+	// cumulative counters describing past work survive.
+	if pt.DeregTime != 0 {
+		t.Fatalf("reset charged DeregTime %v", pt.DeregTime)
+	}
+	if pt.Pins != 2 || pt.RegTime != reg {
+		t.Fatalf("reset clobbered cumulative counters: pins=%d regtime=%v", pt.Pins, pt.RegTime)
+	}
+	if n := pt.Reset(); n != 0 {
+		t.Fatalf("second reset dropped %d, want 0", n)
+	}
+	// The table is immediately usable again.
+	if _, err := pt.Pin(0x1000, PageSize, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if pt.Live() != 1 || pt.Pins != 3 {
+		t.Fatalf("post-reset pin: live=%d pins=%d", pt.Live(), pt.Pins)
+	}
+}
+
+func TestSpaceAtOrigin(t *testing.T) {
+	s := NewSpaceAt(0, 10*Align)
+	if s.Origin() != 10*Align {
+		t.Fatalf("origin = %#x", s.Origin())
+	}
+	a := s.Alloc(16)
+	if a != 10*Align {
+		t.Fatalf("first alloc at %#x, want the origin", a)
+	}
+	b := s.Alloc(Align)
+	s.Free(a)
+	s.Free(b)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The default constructor is the origin-Align special case.
+	if d := NewSpace(1); d.Origin() != Align || d.Alloc(1) != Align {
+		t.Fatal("NewSpace no longer starts at Align")
+	}
+}
+
+func TestSpaceAtBadOriginPanics(t *testing.T) {
+	for _, origin := range []Addr{0, Align / 2, Align + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("origin %#x accepted", origin)
+				}
+			}()
+			NewSpaceAt(0, origin)
+		}()
+	}
+}

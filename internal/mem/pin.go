@@ -169,7 +169,10 @@ func (t *PinTable) Pin(base Addr, size int, tag uint64, now sim.Time) (sim.Time,
 		for t.total+size > t.model.MaxTotal {
 			victim := t.lruVictim()
 			if victim == nil {
-				return 0, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds total DMAable memory even when empty", Limit: t.model.MaxTotal}
+				// The evictions already performed above are real work the
+				// NIC did — their deregistration time must still be
+				// charged to the caller alongside the error.
+				return cost, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds total DMAable memory even when empty", Limit: t.model.MaxTotal}
 			}
 			dc := t.model.DeregCost(victim.Size)
 			cost += dc
@@ -200,6 +203,18 @@ func (t *PinTable) lruVictim() *PinEntry {
 		}
 	}
 	return victim
+}
+
+// Reset empties the table without charging any virtual time: a node
+// crash loses the NIC's registration state outright — there is no
+// orderly deregistration to pay for. Cumulative counters (Pins, Unpins,
+// RegTime, ...) survive, since they describe work the run really did.
+// It returns the number of entries dropped.
+func (t *PinTable) Reset() int {
+	n := len(t.entries)
+	t.entries = make(map[Addr]*PinEntry)
+	t.total = 0
+	return n
 }
 
 // Unpin deregisters the region at base and returns the deregistration

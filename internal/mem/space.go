@@ -31,6 +31,7 @@ type segment struct {
 // at a time, so no locking is needed.
 type Space struct {
 	node     int
+	origin   Addr       // first allocatable address
 	brk      Addr       // next fresh address
 	segs     []*segment // sorted by base; both live and free
 	liveSet  map[Addr]*segment
@@ -40,12 +41,26 @@ type Space struct {
 }
 
 // NewSpace returns an empty address space for the given node id.
-func NewSpace(node int) *Space {
-	return &Space{node: node, brk: Align, liveSet: make(map[Addr]*segment)}
+func NewSpace(node int) *Space { return NewSpaceAt(node, Align) }
+
+// NewSpaceAt returns an empty address space whose allocations start at
+// origin (an Align multiple, at least Align). A node restarting after a
+// crash re-seeds its allocator at a different origin so that addresses
+// minted by the previous incarnation are provably not reissued — a
+// stale cached base then misses the pin table instead of silently
+// aliasing fresh data.
+func NewSpaceAt(node int, origin Addr) *Space {
+	if origin < Align || origin%Align != 0 {
+		panic(fmt.Sprintf("mem: node %d: bad space origin %#x", node, origin))
+	}
+	return &Space{node: node, origin: origin, brk: origin, liveSet: make(map[Addr]*segment)}
 }
 
 // Node returns the owning node id.
 func (s *Space) Node() int { return s.node }
+
+// Origin returns the first allocatable address.
+func (s *Space) Origin() Addr { return s.origin }
 
 // LiveBytes reports the total size of live allocations.
 func (s *Space) LiveBytes() int64 { return s.liveSize }
@@ -195,10 +210,11 @@ func (s *Space) Live(base Addr) bool {
 }
 
 // CheckInvariants verifies the segment list is sorted, non-overlapping
-// and gap-free up to the break, and that no two free neighbours remain
-// uncoalesced. Tests call this after random operation sequences.
+// and gap-free from the origin to the break, and that no two free
+// neighbours remain uncoalesced. Tests call this after random operation
+// sequences.
 func (s *Space) CheckInvariants() error {
-	expect := Addr(Align)
+	expect := s.origin
 	for i, seg := range s.segs {
 		if seg.base != expect {
 			return fmt.Errorf("segment %d at %#x, expected %#x", i, seg.base, expect)

@@ -16,6 +16,7 @@ package svd
 
 import (
 	"fmt"
+	"sort"
 
 	"xlupc/internal/mem"
 )
@@ -215,6 +216,30 @@ func (d *Directory) MetadataBytes() int {
 func (d *Directory) FullTableBytes(nodes int) int {
 	const entryBytes = 24 // key + address + hash slot
 	return d.Live() * nodes * entryBytes
+}
+
+// Locals returns the live control blocks whose data lives on this node
+// (HasLocal, not Freed), sorted by (Part, Index). The sort matters: the
+// crash orchestrator walks this list to relocate every local piece into
+// the restarted allocator, and map iteration order would make the new
+// layout — and hence the whole post-crash event stream — nondeterministic.
+func (d *Directory) Locals() []*ControlBlock {
+	var out []*ControlBlock
+	for _, p := range d.parts {
+		for _, cb := range p {
+			if cb.HasLocal && !cb.Freed {
+				out = append(out, cb)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Handle, out[j].Handle
+		if a.Part != b.Part {
+			return a.Part < b.Part
+		}
+		return a.Index < b.Index
+	})
+	return out
 }
 
 // Live reports the number of live (registered, not freed) objects in

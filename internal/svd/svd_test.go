@@ -215,3 +215,35 @@ func TestMetadataFootprintScaling(t *testing.T) {
 			d.FullTableBytes(100000), svdCost)
 	}
 }
+
+func TestLocalsSortedAndFiltered(t *testing.T) {
+	d := NewDirectory(0, 4)
+	add := func(part, idx int32, local, freed bool) {
+		d.Register(&ControlBlock{
+			Handle:   Handle{Part: part, Index: idx},
+			HasLocal: local,
+			Freed:    freed,
+		})
+	}
+	add(2, 1, true, false)
+	add(0, 3, true, false)
+	add(1, 0, false, false) // remote-only: excluded
+	add(0, 1, true, true)   // freed: excluded
+	add(2, 0, true, false)
+	add(AllPartition, 0, true, false)
+	got := d.Locals()
+	want := []Handle{
+		{Part: AllPartition, Index: 0},
+		{Part: 0, Index: 3},
+		{Part: 2, Index: 0},
+		{Part: 2, Index: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("locals = %d entries, want %d", len(got), len(want))
+	}
+	for i, cb := range got {
+		if cb.Handle != want[i] {
+			t.Fatalf("locals[%d] = %v, want %v", i, cb.Handle, want[i])
+		}
+	}
+}

@@ -24,22 +24,23 @@ func (ph Phase) Dur() sim.Time { return ph.End - ph.Start }
 // unattributed remainder (scheduling gaps, waits not owned by any
 // layer) shows up as PhaseOther in attribution tables.
 const (
-	PhaseCacheLookup  = "cache_lookup"   // remote address cache probe
-	PhaseCacheInsert  = "cache_insert"   // cache fill from piggybacked address
-	PhaseSend         = "send"           // initiator software send + NIC injection
-	PhaseWire         = "wire"           // fabric latency plus arrival-queue residency
-	PhaseCPUWait      = "cpu_wait"       // AM handler waiting for a CPU/comm context
-	PhaseRecv         = "recv"           // AM header-handler entry overhead
-	PhaseSVDResolve   = "svd_resolve"    // handle -> local address translation
-	PhaseRegistration = "registration"   // memory pin (registration) at the target
-	PhaseCopy         = "copy"           // bounce-buffer copies (eager protocol)
-	PhaseRDMASetup    = "rdma_setup"     // RDMA descriptor build + injection
-	PhaseDMATarget    = "dma_target"     // target NIC DMA engine service
-	PhaseRDMARecv     = "rdma_recv"      // initiator NIC completion service
-	PhaseRDMALatency  = "rdma_latency"   // transport's extra RDMA-mode latency
-	PhaseRetry        = "retry"          // reliable-delivery retransmission wait
-	PhaseCoalFlush    = "coalesce_flush" // residency in a coalescing buffer
-	PhaseOther        = "other"          // unattributed remainder
+	PhaseCacheLookup   = "cache_lookup"   // remote address cache probe
+	PhaseCacheInsert   = "cache_insert"   // cache fill from piggybacked address
+	PhaseSend          = "send"           // initiator software send + NIC injection
+	PhaseWire          = "wire"           // fabric latency plus arrival-queue residency
+	PhaseCPUWait       = "cpu_wait"       // AM handler waiting for a CPU/comm context
+	PhaseRecv          = "recv"           // AM header-handler entry overhead
+	PhaseSVDResolve    = "svd_resolve"    // handle -> local address translation
+	PhaseRegistration  = "registration"   // memory pin (registration) at the target
+	PhaseCopy          = "copy"           // bounce-buffer copies (eager protocol)
+	PhaseRDMASetup     = "rdma_setup"     // RDMA descriptor build + injection
+	PhaseDMATarget     = "dma_target"     // target NIC DMA engine service
+	PhaseRDMARecv      = "rdma_recv"      // initiator NIC completion service
+	PhaseRDMALatency   = "rdma_latency"   // transport's extra RDMA-mode latency
+	PhaseRetry         = "retry"          // reliable-delivery retransmission wait
+	PhaseCoalFlush     = "coalesce_flush" // residency in a coalescing buffer
+	PhaseEpochRecovery = "epoch_recovery" // stale-epoch cache invalidation after a peer restart
+	PhaseOther         = "other"          // unattributed remainder
 )
 
 // Span records the lifecycle of one runtime operation: a GET, PUT,

@@ -71,6 +71,10 @@ type Machine struct {
 	// a build without coalescing.
 	coal *coalescer
 
+	// crash is the crash/restart bookkeeping; nil (the default) means no
+	// node ever crashes and every epoch check trivially passes.
+	crash *crashState
+
 	// Tel is the run's telemetry hub; nil disables all recording at
 	// zero virtual-time cost (phase recording never sleeps).
 	Tel *telemetry.Telemetry
@@ -82,6 +86,12 @@ type Node struct {
 	M    *Machine
 	Mem  *mem.Space
 	Pins *mem.PinTable
+
+	// Epoch is the node's incarnation number, bumped on every crash.
+	// RDMA descriptors carry the epoch the initiator believes the target
+	// is in; a mismatch at the target NACKs the operation, which is what
+	// turns a silently stale cached address into a recoverable event.
+	Epoch uint32
 
 	// CPU is the pool of compute cores. Comm is the resource AM
 	// handlers execute on: the same resource as CPU when the
@@ -136,6 +146,80 @@ func (m *Machine) Handle(id HandlerID, h Handler) {
 func (m *Machine) AMCount() int64   { return m.amCount }
 func (m *Machine) RDMACount() int64 { return m.rdmaCount }
 func (m *Machine) NackCount() int64 { return m.nacks }
+
+// CrashStats counts crash/restart activity at the transport layer.
+type CrashStats struct {
+	Crashes      int64    // nodes taken down
+	StaleNacks   int64    // RDMA ops NACKed for a stale target epoch
+	Recovered    int64    // restarts confirmed by a post-restart RDMA op
+	RecoveryTime sim.Time // sum over Recovered of (first RDMA op) - BackAt
+}
+
+// crashState is the machine's crash bookkeeping, allocated on first
+// CrashNode so crash-free runs carry a single nil check.
+type crashState struct {
+	// recovery maps a node still awaiting its first successful inbound
+	// RDMA op since restart to its BackAt time.
+	recovery map[int]sim.Time
+	stats    CrashStats
+}
+
+// CrashStats reports crash activity (zero when no crash ever happened).
+func (m *Machine) CrashStats() CrashStats {
+	if m.crash == nil {
+		return CrashStats{}
+	}
+	return m.crash.stats
+}
+
+// CrashNode takes node down at the current time until backAt: its
+// incarnation epoch is bumped, its NIC drops arrivals until backAt, and
+// the reliable layer (when present) resets the per-peer sequence state
+// senders hold toward it. The caller (the runtime's crash orchestrator)
+// is responsible for wiping the node's pin table and re-seeding its
+// allocator — the transport only owns the wire-visible state. Returns
+// the new epoch.
+func (m *Machine) CrashNode(node int, backAt sim.Time) uint32 {
+	if m.crash == nil {
+		m.crash = &crashState{recovery: make(map[int]sim.Time)}
+	}
+	nd := m.Nodes[node]
+	nd.Epoch++
+	m.crash.stats.Crashes++
+	m.crash.recovery[node] = backAt
+	m.Fab.SetDown(node, backAt)
+	if m.rel != nil {
+		m.rel.peerReset(node)
+	}
+	m.Tel.Add("xlupc_crash_total", fmt.Sprintf(`node="%d"`, node), 1)
+	return nd.Epoch
+}
+
+// noteStale counts an RDMA operation NACKed at the target because its
+// descriptor carried a pre-crash epoch.
+func (m *Machine) noteStale(op string) {
+	if m.crash == nil {
+		return
+	}
+	m.crash.stats.StaleNacks++
+	m.Tel.Add("xlupc_stale_nacks_total", `op="`+op+`"`, 1)
+}
+
+// noteRecovered marks a restarted node as fully recovered the first
+// time an inbound RDMA op passes its epoch check, accruing the restart
+// -> first-op gap as the observable recovery time.
+func (m *Machine) noteRecovered(node int) {
+	if m.crash == nil {
+		return
+	}
+	backAt, ok := m.crash.recovery[node]
+	if !ok {
+		return
+	}
+	delete(m.crash.recovery, node)
+	m.crash.stats.Recovered++
+	m.crash.stats.RecoveryTime += m.K.Now() - backAt
+}
 
 func (m *Machine) spawnDispatchers(nd *Node) {
 	port := m.Fab.Port(nd.ID)

@@ -16,6 +16,7 @@ type dmaGet struct {
 	base      mem.Addr // pinned-region base, for the pin-table LRU
 	raddr     mem.Addr
 	size      int
+	epoch     uint32          // target incarnation the initiator believes in
 	done      *sim.Completion // completes at the initiator with []byte
 
 	span    *telemetry.Span
@@ -30,6 +31,7 @@ type dmaPut struct {
 	base      mem.Addr
 	raddr     mem.Addr
 	data      []byte
+	epoch     uint32
 	done      *sim.Completion // completes when the data is in target memory
 
 	span    *telemetry.Span
@@ -47,33 +49,46 @@ type dmaResp struct {
 	arrived sim.Time
 }
 
-// Nack is the completion value of an RDMA operation that reached a
-// deregistered (evicted) target region under the limited-pinning
-// policy. The initiator must drop its stale cache entry and fall back
-// to the active-message path. Under pin-everything a live cache entry
-// always implies a pinned region, so a missing registration is a
-// protocol bug and panics instead.
-type Nack struct{}
+// Nack is the completion value of an RDMA operation refused at the
+// target. Two causes exist: the region was deregistered (evicted) under
+// the limited-pinning policy — Stale is false and the initiator drops
+// the one stale cache entry — or the descriptor carried a pre-crash
+// incarnation epoch — Stale is true, Epoch is the target's current
+// epoch, and the initiator must invalidate every cached address for
+// that node before falling back to the active-message path. Under
+// pin-everything with matching epochs a live cache entry always implies
+// a pinned region, so a missing registration is a protocol bug and
+// panics instead.
+type Nack struct {
+	Stale bool
+	Epoch uint32 // target's current incarnation (stale NACKs only)
+}
 
 // RDMAGet performs a one-sided read of size bytes at raddr in dst's
 // memory, blocking the calling process until the data arrives. ok is
-// false when the target region had been deregistered (limited-pinning
-// NACK); the caller must invalidate and fall back.
+// false when the target NACKed (deregistered region, or stale epoch);
+// the caller must invalidate and fall back. The descriptor carries the
+// target's live epoch, so this convenience form never goes stale —
+// cached-address paths use RDMAGetSpan with the epoch they cached.
 func (m *Machine) RDMAGet(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int) (data []byte, ok bool) {
-	return m.RDMAGetSpan(p, src, dst, base, raddr, size, nil)
+	data, _, ok = m.RDMAGetSpan(p, src, dst, base, raddr, size, m.Nodes[dst].Epoch, nil)
+	return data, ok
 }
 
-// RDMAGetSpan is RDMAGet carrying a telemetry span: descriptor setup
-// and injection, target DMA service, completion and the RDMA-mode
-// extra latency are attributed to it phase by phase.
-func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int, span *telemetry.Span) (data []byte, ok bool) {
+// RDMAGetSpan is RDMAGet carrying the initiator's believed target epoch
+// and a telemetry span: descriptor setup and injection, target DMA
+// service, completion and the RDMA-mode extra latency are attributed to
+// it phase by phase. On failure the returned Nack tells the caller
+// whether one entry went stale (deregistration) or the whole node did
+// (crash), which decide between a single eviction and a node-wide flush.
+func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int, epoch uint32, span *telemetry.Span) (data []byte, nack Nack, ok bool) {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-get")
 	t0 := p.Now()
 	p.Sleep(m.Prof.RDMASetup)
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
-	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, done: done, span: span}
+	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, epoch: epoch, done: done, span: span}
 	if m.rel != nil {
 		op.arrived = m.rel.inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op, span)
 	} else {
@@ -90,11 +105,11 @@ func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, s
 	span.Phase(telemetry.PhaseRDMALatency, lat, p.Now())
 	val := done.Value()
 	m.K.Recycle(done) // fully consumed: no reference survives this call
-	if _, nack := val.(Nack); nack {
+	if nk, isNack := val.(Nack); isNack {
 		m.noteNack("get")
-		return nil, false
+		return nil, nk, false
 	}
-	return val.([]byte), true
+	return val.([]byte), Nack{}, true
 }
 
 // RDMAPut performs a one-sided write of data to raddr in dst's memory.
@@ -104,18 +119,19 @@ func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, s
 // completion that fires when the data is globally visible in target
 // memory, which fences wait on.
 func (m *Machine) RDMAPut(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte) *sim.Completion {
-	return m.RDMAPutSpan(p, src, dst, base, raddr, data, nil)
+	return m.RDMAPutSpan(p, src, dst, base, raddr, data, m.Nodes[dst].Epoch, nil)
 }
 
-// RDMAPutSpan is RDMAPut carrying a telemetry span.
-func (m *Machine) RDMAPutSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte, span *telemetry.Span) *sim.Completion {
+// RDMAPutSpan is RDMAPut carrying the initiator's believed target epoch
+// and a telemetry span.
+func (m *Machine) RDMAPutSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte, epoch uint32, span *telemetry.Span) *sim.Completion {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-put")
 	t0 := p.Now()
 	p.Sleep(m.Prof.RDMASetup)
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
-	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, done: done, span: span}
+	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, epoch: epoch, done: done, span: span}
 	if m.rel != nil {
 		op.arrived = m.rel.inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op, span)
 	} else {
@@ -135,11 +151,11 @@ func (m *Machine) RDMAPutSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, d
 // after the transport's RDMA-mode extra latency has elapsed. With
 // coalescing enabled the descriptor joins the (src,dst) doorbell batch
 // instead of paying its own setup, TX arbitration and injection.
-func (m *Machine) RDMAGetStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int, span *telemetry.Span) *sim.Completion {
+func (m *Machine) RDMAGetStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int, epoch uint32, span *telemetry.Span) *sim.Completion {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-get")
 	res := m.nbResult(done, "get", span)
-	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, done: done, span: span}
+	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, epoch: epoch, done: done, span: span}
 	if c := m.coal; c != nil {
 		c.append(p, coalKey{src: src, dst: dst, class: fabric.ClassDMA}, op, m.Prof.RDMADescBytes, span)
 		return res
@@ -164,10 +180,10 @@ func (m *Machine) RDMAGetStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, 
 // fires when the data is globally visible in target memory (or with a
 // Nack); fences and split-phase handles wait on it. With coalescing
 // enabled the descriptor and its payload join the doorbell batch.
-func (m *Machine) RDMAPutStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte, span *telemetry.Span) *sim.Completion {
+func (m *Machine) RDMAPutStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte, epoch uint32, span *telemetry.Span) *sim.Completion {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-put")
-	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, done: done, span: span}
+	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, epoch: epoch, done: done, span: span}
 	if c := m.coal; c != nil {
 		c.append(p, coalKey{src: src, dst: dst, class: fabric.ClassDMA}, op, m.Prof.RDMADescBytes+len(data), span)
 		return done
@@ -294,9 +310,21 @@ func (e *dmaEngine) serveGet(op *dmaGet) {
 		// service time — all DMA-engine occupancy, no CPU.
 		op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
 		op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
+		if op.epoch != e.nd.Epoch {
+			// The descriptor was built against a previous incarnation:
+			// its address describes the pre-crash layout and must not be
+			// dereferenced. NACK with the current epoch so the initiator
+			// can flush everything it cached for this node.
+			m.noteStale("get")
+			e.sendResp(op.initiator, m.Prof.RDMADescBytes,
+				&dmaResp{done: op.done, val: Nack{Stale: true, Epoch: e.nd.Epoch}, span: op.span})
+			return
+		}
+		m.noteRecovered(e.nd.ID)
 		if !e.nd.Pins.TouchOK(op.base, k.Now()) {
 			// A NACK under limited pinning, a crash under pin-everything
-			// (where it can only be a runtime bug).
+			// (where it can only be a runtime bug: the epoch matched, so
+			// the registration cannot have been lost to a crash).
 			if e.nd.Pins.Policy() != mem.PinLimited {
 				panic(fmt.Sprintf("transport: node %d: RDMA access to unpinned region %#x under pin-all", e.nd.ID, op.base))
 			}
@@ -337,6 +365,13 @@ func (e *dmaEngine) servePut(op *dmaPut) {
 	k.After(m.Prof.RDMATargetCost, func() {
 		op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
 		op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
+		if op.epoch != e.nd.Epoch {
+			m.noteStale("put")
+			op.done.Complete(Nack{Stale: true, Epoch: e.nd.Epoch})
+			e.serveNext()
+			return
+		}
+		m.noteRecovered(e.nd.ID)
 		if !e.nd.Pins.TouchOK(op.base, k.Now()) {
 			if e.nd.Pins.Policy() != mem.PinLimited {
 				panic(fmt.Sprintf("transport: node %d: RDMA write to unpinned region %#x under pin-all", e.nd.ID, op.base))

@@ -49,26 +49,32 @@ func (e *TransportError) Error() string {
 }
 
 // envelope frames one reliable packet: the inner transport message
-// plus the sequence header the receiver ACKs and dedups on.
+// plus the sequence header the receiver ACKs and dedups on. The header
+// carries the sender's incarnation epoch: a restarted node's sequence
+// numbers start over at a new epoch, so they can never collide with
+// packets (or receiver-side dedup state) of its previous life.
 type envelope struct {
 	src, dst int32
 	seq      uint64 // per-(src,dst) channel sequence
+	epoch    uint32 // sender incarnation the sequence belongs to
 	class    fabric.Class
 	wire     int // framed wire size (inner + header)
 	inner    any
 	span     *telemetry.Span
 }
 
-// relAck acknowledges receipt of (src,dst,seq) back to the sender.
+// relAck acknowledges receipt of (src,dst,seq,epoch) back to the sender.
 type relAck struct {
 	src, dst int32
 	seq      uint64
+	epoch    uint32
 }
 
 // relKey identifies one packet across the cluster.
 type relKey struct {
 	src, dst int32
 	seq      uint64
+	epoch    uint32
 }
 
 // relPacket is the sender-side retransmission state of one in-flight
@@ -87,6 +93,7 @@ type RelStats struct {
 	DupSuppressed int64 // replayed packets discarded at the target
 	Acks          int64 // acknowledgements sent
 	CorruptDrops  int64 // arrivals discarded by the integrity check
+	Parked        int64 // expiries deferred against a peer's restart timer
 }
 
 // reliability is the machine-wide reliable-delivery state. The
@@ -146,15 +153,32 @@ func classLabel(c fabric.Class) string {
 	return "am"
 }
 
-// wrap frames inner as the next packet of the (src,dst) channel.
+// wrap frames inner as the next packet of the (src,dst) channel, under
+// the sender's current incarnation epoch.
 func (rl *reliability) wrap(src, dst int, wire int, class fabric.Class, inner any, span *telemetry.Span) *envelope {
 	ch := uint64(src)<<32 | uint64(uint32(dst))
 	seq := rl.nextSeq[ch]
 	rl.nextSeq[ch] = seq + 1
 	return &envelope{
 		src: int32(src), dst: int32(dst), seq: seq,
+		epoch: rl.m.Nodes[src].Epoch,
 		class: class, wire: wire + rl.cfg.HeaderBytes,
 		inner: inner, span: span,
+	}
+}
+
+// peerReset handles a node crash: the node's NIC lost its sender-side
+// sequence counters, so every channel it originates restarts at seq 0 —
+// in its new epoch, which keeps the restarted stream disjoint from the
+// old one at every receiver. In-flight packets FROM the node and
+// receiver-side dedup state of the old incarnation are kept: the
+// simulated runtime's compute state survives the crash (a warm restart
+// from checkpoint), so its outstanding operations must still complete.
+func (rl *reliability) peerReset(node int) {
+	for ch := range rl.nextSeq {
+		if int(ch>>32) == node {
+			delete(rl.nextSeq, ch)
+		}
 	}
 }
 
@@ -180,7 +204,7 @@ func (rl *reliability) injectC(src, dst int, wire int, class fabric.Class, inner
 // track registers the packet for retransmission and arms its timer.
 func (rl *reliability) track(env *envelope) {
 	pk := &relPacket{env: env, rto: rl.cfg.RTO, lastTx: rl.m.K.Now()}
-	rl.inflight[relKey{env.src, env.dst, env.seq}] = pk
+	rl.inflight[relKey{env.src, env.dst, env.seq, env.epoch}] = pk
 	rl.arm(pk)
 }
 
@@ -195,6 +219,18 @@ func (rl *reliability) expire(pk *relPacket) {
 		return // the run is already aborting
 	}
 	m, env := rl.m, pk.env
+	if du := m.Fab.DownUntil(int(env.dst)); du > m.K.Now() {
+		// The peer is mid-restart: a retransmit now is guaranteed to be
+		// dropped at its dead NIC, so burning retry budget on it would
+		// turn every crash into a spurious TransportError. Park the
+		// packet against the restart timer instead — attempt count and
+		// RTO are untouched, and the real retransmit happens (and
+		// records its retry phase) once the peer is back.
+		rl.stats.Parked++
+		m.Tel.Add("xlupc_transport_parked_total", `class="`+classLabel(env.class)+`"`, 1)
+		pk.timer = m.K.AfterTimer(du-m.K.Now(), func() { rl.expire(pk) })
+		return
+	}
 	if pk.attempt >= rl.cfg.MaxRetries {
 		rl.failed = &TransportError{
 			Class: classLabel(env.class),
@@ -230,7 +266,7 @@ func (rl *reliability) deliver(dst int, class fabric.Class, raw any) {
 		rl.stats.CorruptDrops++
 		rl.m.Tel.Add("xlupc_transport_corrupt_drops_total", "", 1)
 	case *relAck:
-		key := relKey{v.src, v.dst, v.seq}
+		key := relKey{v.src, v.dst, v.seq, v.epoch}
 		if pk, ok := rl.inflight[key]; ok {
 			pk.timer.Cancel()
 			delete(rl.inflight, key)
@@ -239,7 +275,7 @@ func (rl *reliability) deliver(dst int, class fabric.Class, raw any) {
 		// Always ACK — a replay means the first ACK was lost, and only
 		// a fresh one stops the sender's timer.
 		rl.sendAck(v)
-		key := relKey{v.src, v.dst, v.seq}
+		key := relKey{v.src, v.dst, v.seq, v.epoch}
 		if _, dup := rl.seen[key]; dup {
 			rl.stats.DupSuppressed++
 			rl.m.Tel.Add("xlupc_transport_dup_suppressed_total", `class="`+classLabel(v.class)+`"`, 1)
@@ -263,7 +299,7 @@ func (rl *reliability) deliver(dst int, class fabric.Class, raw any) {
 // ACK costs one retransmission, which dedup absorbs.
 func (rl *reliability) sendAck(env *envelope) {
 	rl.stats.Acks++
-	ack := &relAck{src: env.src, dst: env.dst, seq: env.seq}
+	ack := &relAck{src: env.src, dst: env.dst, seq: env.seq, epoch: env.epoch}
 	m := rl.m
 	tx := m.Fab.Port(int(env.dst)).TX
 	tx.AcquireC(func() {

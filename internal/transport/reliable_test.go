@@ -151,11 +151,23 @@ func TestRetryBudgetExhaustionFailsFast(t *testing.T) {
 	if te == nil {
 		t.Fatal("no TransportError after total loss")
 	}
+	// The typed error must name the dead channel exactly: endpoints,
+	// class, and the sequence number of the abandoned packet (the first
+	// on a fresh channel, hence 0).
 	if te.Src != 0 || te.Dst != 1 || te.Attempts != rc.MaxRetries+1 {
 		t.Fatalf("wrong failure: %+v", te)
 	}
+	if te.Class != "am" {
+		t.Fatalf("class %q, want %q", te.Class, "am")
+	}
+	if te.Seq != 0 {
+		t.Fatalf("seq %d, want 0 (first packet of the channel)", te.Seq)
+	}
 	if !strings.Contains(te.Error(), "undeliverable") {
 		t.Fatalf("unhelpful message: %v", te)
+	}
+	if !strings.Contains(te.Error(), "0->1 seq=0") {
+		t.Fatalf("message does not name the channel and sequence: %v", te)
 	}
 	// Backoff: 10+20+40+80 µs of timeouts, plus wire time.
 	if now := k.Now(); now < 150*sim.Us || now > 400*sim.Us {
@@ -178,5 +190,121 @@ func TestAckedTimersDoNotInflateElapsed(t *testing.T) {
 	}
 	if now := k.Now(); now >= 50*sim.Ms {
 		t.Fatalf("run stretched to the dead RTO: %v", now)
+	}
+}
+
+// A crash bumps the target's incarnation: descriptors carrying the old
+// epoch are NACKed stale (with the new epoch), a descriptor carrying
+// the fresh epoch succeeds, and the first epoch-matched operation after
+// the restart records the recovery.
+func TestCrashStaleEpochNackAndRecovery(t *testing.T) {
+	k, m := newTestMachine(t, GM(), 2)
+	nd := m.Nodes[1]
+	base := nd.Mem.Alloc(64)
+	if _, err := nd.Pins.Pin(base, 64, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	nd.Mem.Write(base, []byte{1, 2, 3, 4})
+	k.Spawn("initiator", func(p *sim.Proc) {
+		oldEpoch := m.Nodes[1].Epoch // 0: the incarnation that advertised base
+		backAt := p.Now() + 100*sim.Us
+		if ep := m.CrashNode(1, backAt); ep != 1 {
+			t.Errorf("first crash produced epoch %d, want 1", ep)
+		}
+		p.Sleep(backAt - p.Now() + sim.Us) // wait out the restart window
+
+		data, nack, ok := m.RDMAGetSpan(p, 0, 1, base, base, 4, oldEpoch, nil)
+		if ok || data != nil {
+			t.Errorf("stale-epoch GET succeeded: %v", data)
+		}
+		if !nack.Stale || nack.Epoch != 1 {
+			t.Errorf("GET nack = %+v, want stale with epoch 1", nack)
+		}
+
+		ack := m.RDMAPutSpan(p, 0, 1, base, base, []byte{9, 9}, oldEpoch, nil)
+		p.Wait(ack)
+		if nk, isNack := ack.Value().(Nack); !isNack || !nk.Stale || nk.Epoch != 1 {
+			t.Errorf("PUT completion = %v, want stale nack with epoch 1", ack.Value())
+		}
+		k.Recycle(ack)
+
+		data, nack, ok = m.RDMAGetSpan(p, 0, 1, base, base, 4, 1, nil)
+		if !ok {
+			t.Errorf("fresh-epoch GET nacked: %+v", nack)
+		} else if string(data) != string([]byte{1, 2, 3, 4}) {
+			t.Errorf("fresh-epoch GET read %v", data)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cs := m.CrashStats()
+	if cs.Crashes != 1 || cs.StaleNacks != 2 {
+		t.Fatalf("crash stats %+v, want 1 crash and 2 stale nacks", cs)
+	}
+	if cs.Recovered != 1 || cs.RecoveryTime <= 0 {
+		t.Fatalf("crash stats %+v, want 1 recovery with positive recovery time", cs)
+	}
+}
+
+// While the target's NIC is down, retransmit expiries must park against
+// the restart timer — attempt count untouched — instead of burning the
+// retry budget into a spurious TransportError. The packet is delivered
+// by the first real retransmit after the restart.
+func TestCrashParksRetransmitsAgainstRestart(t *testing.T) {
+	rc := RelConfig{RTO: 20 * sim.Us, MaxRetries: 2, HeaderBytes: 8}
+	k, m := chaosMachine(t, 2, fault.Config{}, rc)
+	got := 0
+	m.Handle(hPing, func(p *sim.Proc, n *Node, msg *Msg) { got++ })
+	k.Spawn("sender", func(p *sim.Proc) {
+		// The down window (300 µs) is far longer than the whole backoff
+		// budget (20+40 µs): without parking this run must fail.
+		m.CrashNode(1, p.Now()+300*sim.Us)
+		m.SendAM(p, 0, 1, hPing, nil, nil, 0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if te := m.FatalError(); te != nil {
+		t.Fatalf("crash window exhausted the retry budget: %v", te)
+	}
+	if got != 1 {
+		t.Fatalf("delivered %d pings, want 1", got)
+	}
+	rs := m.RelStats()
+	if rs.Parked == 0 {
+		t.Fatal("no expiries parked during the down window")
+	}
+	if rs.Retransmits == 0 || rs.Retransmits > int64(rc.MaxRetries) {
+		t.Fatalf("retransmits %d, want within the untouched budget (1..%d)", rs.Retransmits, rc.MaxRetries)
+	}
+	if fs := m.Fab.FaultStats(); fs.CrashDrops == 0 {
+		t.Fatal("nothing dropped at the dead NIC; the down window never bit")
+	}
+}
+
+// A restarted node's channels start over at sequence 0 in its new
+// epoch: the fresh stream must not collide with receiver-side dedup
+// state from the previous incarnation.
+func TestCrashRestartSeqRestartsInNewEpoch(t *testing.T) {
+	k, m := chaosMachine(t, 2, fault.Config{}, DefaultRelConfig())
+	got := 0
+	m.Handle(hPing, func(p *sim.Proc, n *Node, msg *Msg) { got++ })
+	k.Spawn("sender", func(p *sim.Proc) {
+		m.SendAM(p, 1, 0, hPing, nil, nil, 0) // seq 0, epoch 0
+		p.Sleep(50 * sim.Us)                  // let it deliver and ACK
+		m.CrashNode(1, p.Now()+10*sim.Us)     // node 1 loses its seq counters
+		p.Sleep(20 * sim.Us)
+		m.SendAM(p, 1, 0, hPing, nil, nil, 0) // seq 0 again — epoch 1
+		p.Sleep(50 * sim.Us)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d pings, want 2 (restarted seq 0 deduped as a replay?)", got)
+	}
+	if rs := m.RelStats(); rs.DupSuppressed != 0 {
+		t.Fatalf("restarted channel suppressed as duplicate: %+v", rs)
 	}
 }
