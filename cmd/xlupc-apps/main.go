@@ -19,6 +19,7 @@ import (
 	"xlupc/internal/apps"
 	"xlupc/internal/bench"
 	"xlupc/internal/core"
+	hostprof "xlupc/internal/prof"
 	"xlupc/internal/sim"
 	"xlupc/internal/transport"
 )
@@ -57,6 +58,7 @@ func main() {
 	threads := flag.Int("threads", 16, "UPC threads")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	pf := hostprof.Register(nil)
 	flag.Parse()
 
 	prof := transport.ByName(*profName)
@@ -68,6 +70,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xlupc-apps: %v\n", err)
 		os.Exit(2)
 	}
+	stopProf := pf.MustStart("xlupc-apps")
+	defer stopProf()
 	fmt.Printf("# application kernels, %d threads / %d nodes on %s\n", *threads, *nodes, prof.Name)
 	for _, kernel := range []string{"cg", "is"} {
 		z, _, zok := run(kernel, *threads, *nodes, prof, core.NoCache(), *seed)

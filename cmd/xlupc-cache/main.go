@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"xlupc/internal/bench"
+	hostprof "xlupc/internal/prof"
 )
 
 func main() {
@@ -24,8 +25,11 @@ func main() {
 	capsFlag := flag.String("caps", "4,10,100", "comma-separated cache capacities")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
+	pf := hostprof.Register(nil)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	stopProf := pf.MustStart("xlupc-cache")
+	defer stopProf()
 
 	var caps []int
 	for _, c := range strings.Split(*capsFlag, ",") {

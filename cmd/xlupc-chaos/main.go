@@ -28,12 +28,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"xlupc/internal/bench"
+	"xlupc/internal/flight"
+	hostprof "xlupc/internal/prof"
 	"xlupc/internal/sim"
 	"xlupc/internal/transport"
 )
@@ -69,8 +72,26 @@ func main() {
 	restartUs := flag.Float64("restart-delay", 150, "maximum node restart delay in µs for -crashes")
 	seed := flag.Int64("seed", 1, "simulation seed (drives workload and every injected fault)")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
+	flightOn := flag.Bool("flight", false, "attach a flight recorder to every run; a failing run dumps its last events per involved node to stderr (costs no virtual time: sweep figures are unchanged)")
+	flightDump := flag.String("flight-dump", "", "write flight dumps to `path` instead of stderr (implies -flight); a clean sweep writes an on-demand representative capture there instead")
+	pf := hostprof.Register(nil)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+
+	var flightW io.Writer = os.Stderr
+	var flightFile *os.File
+	if *flightDump != "" {
+		*flightOn = true
+		f, err := os.Create(*flightDump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xlupc-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		flightFile, flightW = f, f
+	}
+	if *flightOn {
+		bench.SetFlight(&flight.Config{Dump: flightW})
+	}
 
 	if err := bench.ValidateScale(*threads, *nodes); err != nil {
 		fmt.Fprintf(os.Stderr, "xlupc-chaos: %v\n", err)
@@ -100,6 +121,9 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	stopProf := pf.MustStart("xlupc-chaos")
+	defer stopProf()
 
 	sc := bench.Scale{Threads: *threads, Nodes: *nodes}
 	ok := true
@@ -136,7 +160,20 @@ func main() {
 	} else {
 		run(*profName)
 	}
+	if flightFile != nil {
+		// The sweep finished without a failure dump; leave a
+		// representative capture behind so the file is never empty.
+		if err := bench.FlightCapture(flightFile, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "xlupc-chaos: flight capture: %v\n", err)
+			ok = false
+		}
+		if err := flightFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "xlupc-chaos: %v\n", err)
+			ok = false
+		}
+	}
 	if !ok {
+		stopProf()
 		os.Exit(1)
 	}
 }

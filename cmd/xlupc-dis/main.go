@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"xlupc/internal/bench"
+	hostprof "xlupc/internal/prof"
 	"xlupc/internal/transport"
 )
 
@@ -24,8 +25,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	reps := flag.Int("reps", 1, "independent runs per point; >1 adds 95% confidence intervals (the paper's methodology)")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
+	pf := hostprof.Register(nil)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	stopProf := pf.MustStart("xlupc-dis")
+	defer stopProf()
 
 	run := func(name string) {
 		prof := transport.ByName(name)

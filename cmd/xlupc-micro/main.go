@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"xlupc/internal/bench"
+	hostprof "xlupc/internal/prof"
 	"xlupc/internal/transport"
 )
 
@@ -27,8 +28,11 @@ func main() {
 	miss := flag.Bool("missoverhead", false, "emit the miss-overhead measurement instead")
 	coalesce := flag.Bool("coalesce", false, "emit the split-phase coalescing batch-size figure instead")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
+	pf := hostprof.Register(nil)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	stopProf := pf.MustStart("xlupc-micro")
+	defer stopProf()
 
 	switch {
 	case *coalesce:

@@ -5,24 +5,31 @@
 // EXPERIMENTS.md).
 //
 // The -full flag runs the sweeps at the paper's largest scales
-// (2048 threads / 512 nodes); the default is a faster subset.
+// (2048 threads / 512 nodes); the default is a faster subset. -host
+// appends a host-performance table (simulator cost per kernel event);
+// its columns are host-side and vary run to run, unlike everything
+// else the command prints.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xlupc/internal/bench"
+	"xlupc/internal/flight"
+	hostprof "xlupc/internal/prof"
 	"xlupc/internal/transport"
 )
 
-func section(title, expectation string) {
-	fmt.Println()
-	fmt.Println("==============================================================")
-	fmt.Println(title)
-	fmt.Println("paper:", expectation)
-	fmt.Println("==============================================================")
+func section(w io.Writer, title, expectation string) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "==============================================================")
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, "paper:", expectation)
+	fmt.Fprintln(w, "==============================================================")
 }
 
 func main() {
@@ -30,69 +37,123 @@ func main() {
 	reps := flag.Int("reps", 10, "microbenchmark repetitions per point")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
+	host := flag.Bool("host", false, "append the host-performance table (wall clock, kernel events/s, allocs per event; host-side, not deterministic)")
+	flightOn := flag.Bool("flight", false, "attach a flight recorder to the chaos/crash runs; a failing run dumps its last events per involved node to stderr (costs no virtual time: report figures are unchanged)")
+	flightDump := flag.String("flight-dump", "", "write flight dumps to `path` instead of stderr (implies -flight); a clean report writes an on-demand representative capture there instead")
+	pf := hostprof.Register(nil)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+
+	var flightW io.Writer = os.Stderr
+	var flightFile *os.File
+	if *flightDump != "" {
+		*flightOn = true
+		f, err := os.Create(*flightDump)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xlupc-report: %v\n", err)
+			os.Exit(2)
+		}
+		flightFile, flightW = f, f
+	}
+	if *flightOn {
+		bench.SetFlight(&flight.Config{Dump: flightW})
+	}
+	stopProf := pf.MustStart("xlupc-report")
 
 	maxGM, maxLAPI, maxFig8 := 256, 128, 512
 	if *full {
 		maxGM, maxLAPI, maxFig8 = 2048, 448, 2048
 	}
-	w := os.Stdout
+	// Everything goes through one buffered, flush-checked writer: a
+	// full disk or closed pipe must turn into a nonzero exit, not a
+	// silently truncated reproduction record.
+	w := bufio.NewWriter(os.Stdout)
+	fail := func(err error) {
+		w.Flush()
+		fmt.Fprintf(os.Stderr, "xlupc-report: %v\n", err)
+		stopProf()
+		os.Exit(1)
+	}
 
-	section("Figure 6 (left): GET latency improvement",
+	section(w, "Figure 6 (left): GET latency improvement",
 		"GM ~30% / LAPI ~16% small; ~40% mid (1-16KB); fading to 0 when bandwidth-bound")
 	bench.PrintFig6(w, bench.OpGet, *reps, *seed)
 
-	section("Figure 6 (right): PUT latency improvement",
+	section(w, "Figure 6 (right): PUT latency improvement",
 		"GM ~0 small then positive mid; LAPI negative down to ~-200% (hence PUT cache disabled on LAPI)")
 	bench.PrintFig6(w, bench.OpPut, *reps, *seed)
 
-	section("Figure 7: absolute GET latency, small messages",
+	section(w, "Figure 7: absolute GET latency, small messages",
 		"both transports in the few-microsecond range; cached consistently below uncached")
 	bench.PrintFig7(w, *reps, *seed)
 
-	section("Figure 8a: Pointer hit rate vs scale and cache size",
+	section(w, "Figure 8a: Pointer hit rate vs scale and cache size",
 		"degrades with node count, earlier for smaller caches")
 	bench.PrintFig8(w, "pointer", bench.GMScales(maxFig8), []int{4, 10, 100}, *seed)
 
-	section("Figure 8b: Neighborhood hit rate vs scale and cache size",
+	section(w, "Figure 8b: Neighborhood hit rate vs scale and cache size",
 		"insignificantly small working set: flat, high hit rate at every size")
 	bench.PrintFig8(w, "neighborhood", bench.GMScales(maxFig8), []int{4, 10, 100}, *seed)
 
-	section("Figure 9a: DIS stressmarks, hybrid GM",
+	section(w, "Figure 9a: DIS stressmarks, hybrid GM",
 		"Pointer 30-60%, Update 11-22%, Neighborhood 10-20%, Field 35-40%")
 	bench.PrintFig9(w, transport.GM(), bench.GMScales(maxGM), *seed)
 
-	section("Figure 9b: DIS stressmarks, hybrid LAPI",
+	section(w, "Figure 9b: DIS stressmarks, hybrid LAPI",
 		"Pointer/Update/Neighborhood comparable to GM; Field not measurable (~0)")
 	bench.PrintFig9(w, transport.LAPI(), bench.LAPIScales(maxLAPI), *seed)
 
-	section("Miss overhead (conclusions, §6)",
+	section(w, "Miss overhead (conclusions, §6)",
 		"unsuccessful caching attempts cost typically 1.5%, never worse than 2%")
 	for _, prof := range []*transport.Profile{transport.GM(), transport.LAPI()} {
 		fmt.Fprintf(w, "%8s %6.2f%%\n", prof.Name, bench.MissOverhead(prof, *seed))
 	}
 
-	section("Pinned address table occupancy (§4.5)",
+	section(w, "Pinned address table occupancy (§4.5)",
 		"a table of 10 entries is more than enough for well-behaved UPC applications")
 	peaks := bench.PinUsage(transport.GM(), bench.Scale{Threads: 16, Nodes: 4}, *seed)
 	for _, mark := range []string{"pointer", "update", "neighborhood", "field"} {
 		fmt.Fprintf(w, "%14s peak pinned entries: %d\n", mark, peaks[mark])
 	}
 
-	section("Reliability: RDMA NACKs and chaos counters by transport",
+	section(w, "Reliability: RDMA NACKs and chaos counters by transport",
 		"NACK/invalidate/fallback keeps pin-starved runs correct; reliable delivery absorbs 2% loss (see xlupc-chaos for curves)")
 	bench.PrintReliability(w, *seed)
 
-	section("SVD metadata footprint (§2.1)",
+	section(w, "SVD metadata footprint (§2.1)",
 		"directory replicas stay O(objects) per node; the rejected full table is O(nodes x objects)")
 	bench.PrintFootprint(w)
 
-	section("Field analysis (§4.6)",
+	section(w, "Field analysis (§4.6)",
 		"without the cache, remote access times at the overhangs are abnormally large on GM; RDMA removes the target CPU from the path")
 	bench.PrintFieldTrace(w, *seed)
 
-	section("Phase attribution (§4.6, telemetry)",
+	section(w, "Phase attribution (§4.6, telemetry)",
 		"the abnormal GM access times are target-CPU time: AM handlers stall behind the busy compute CPU; LAPI's dedicated comm processor absorbs them")
 	bench.PrintPhaseBreakdown(w, *seed)
+
+	if *host {
+		section(w, "Host performance (simulator cost; see PROFILING.md)",
+			"n/a — host-side figures, not from the paper; wall-clock columns vary run to run")
+		if _, err := bench.PrintHost(w, transport.GM(), bench.Scale{Threads: 16, Nodes: 4}, *seed); err != nil {
+			fail(err)
+		}
+	}
+
+	if flightFile != nil {
+		// The report finished without a failure dump; leave a
+		// representative capture behind so the file is never empty.
+		if err := bench.FlightCapture(flightFile, *seed); err != nil {
+			fail(fmt.Errorf("flight capture: %v", err))
+		}
+		if err := flightFile.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-report: writing report: %v\n", err)
+		stopProf()
+		os.Exit(1)
+	}
+	stopProf()
 }

@@ -2,9 +2,10 @@
 // remote access's time actually go? — with the telemetry layer's
 // per-operation spans instead of a Paraver trace. It runs one DIS
 // stressmark with and without the remote address cache and prints, per
-// operation kind, a phase-attribution table: how much virtual time went
-// to cache probes, wire, waiting for the target CPU, AM handling, SVD
-// resolution, registration, copies and DMA service.
+// operation kind, a phase-attribution table — how much virtual time
+// went to cache probes, wire, waiting for the target CPU, AM handling,
+// SVD resolution, registration, copies and DMA service — plus the
+// latency-quantile table (P50/P95/P99) of every op/protocol series.
 //
 // On GM (no computation/communication overlap) the uncached run's GETs
 // are dominated by target-CPU/handler time: the target nodes are busy
@@ -19,14 +20,15 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
 	"xlupc/internal/bench"
 	"xlupc/internal/core"
+	hostprof "xlupc/internal/prof"
 	"xlupc/internal/telemetry"
 	"xlupc/internal/transport"
 )
@@ -39,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	chrome := flag.String("chrome", "", "write the cached run's spans as Chrome trace-event JSON to this file")
 	prom := flag.String("prom", "", "write the cached run's metrics in Prometheus text format to this file")
+	pf := hostprof.Register(nil)
 	flag.Parse()
 
 	prof := transport.ByName(*profName)
@@ -51,8 +54,20 @@ func main() {
 		os.Exit(2)
 	}
 	sc := bench.Scale{Threads: *threads, Nodes: *nodes}
+	stopProf := pf.MustStart("xlupc-top")
 
-	fmt.Printf("# %s on %s, %d threads / %d nodes — phase attribution of operation time\n",
+	// Everything goes through one buffered, flush-checked writer: a
+	// full disk or closed pipe must turn into a nonzero exit, not a
+	// silently truncated table.
+	w := bufio.NewWriter(os.Stdout)
+	fail := func(err error) {
+		w.Flush()
+		fmt.Fprintf(os.Stderr, "xlupc-top: %v\n", err)
+		stopProf()
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(w, "# %s on %s, %d threads / %d nodes — phase attribution of operation time\n",
 		*mark, prof.Name, *threads, *nodes)
 
 	var cachedTel *telemetry.Telemetry
@@ -63,40 +78,55 @@ func main() {
 		}
 		tel, st, err := bench.PhaseRun(*mark, prof, sc, cc, *seed)
 		if err != nil {
-			log.Fatal(err)
+			fail(err)
 		}
 		if cached {
 			cachedTel = tel
 		}
-		fmt.Printf("\n%s  (virtual time %v, %d msgs, %d AM, %d RDMA, cache hit rate %.1f%%)\n",
+		fmt.Fprintf(w, "\n%s  (virtual time %v, %d msgs, %d AM, %d RDMA, cache hit rate %.1f%%)\n",
 			label, st.Elapsed, st.Messages, st.AMOps, st.RDMAOps, 100*st.Cache.HitRate())
-		if err := bench.PrintPhaseTables(os.Stdout, tel, "get", "put", "barrier"); err != nil {
-			log.Fatal(err)
+		if err := bench.PrintPhaseTables(w, tel, "get", "put", "barrier"); err != nil {
+			fail(err)
+		}
+		if err := tel.WriteQuantiles(w); err != nil {
+			fail(err)
 		}
 	}
 
 	if *chrome != "" {
-		writeExport(*chrome, cachedTel.WriteChromeTrace)
-		fmt.Printf("\nChrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+		if err := writeExport(*chrome, cachedTel.WriteChromeTrace); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(w, "\nChrome trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *chrome)
 	}
 	if *prom != "" {
-		writeExport(*prom, cachedTel.WritePrometheus)
-		fmt.Printf("Prometheus metrics written to %s\n", *prom)
+		if err := writeExport(*prom, cachedTel.WritePrometheus); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(w, "Prometheus metrics written to %s\n", *prom)
 	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-top: writing output: %v\n", err)
+		stopProf()
+		os.Exit(1)
+	}
+	stopProf()
 }
 
 // writeExport writes one exporter's output to path, surfacing write
-// and close errors instead of dropping them.
-func writeExport(path string, write func(w io.Writer) error) {
+// and close errors instead of dropping them: a full disk must not
+// leave a silently truncated trace behind.
+func writeExport(path string, write func(w io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := write(f); err != nil {
 		f.Close()
-		log.Fatalf("writing %s: %v", path, err)
+		return fmt.Errorf("writing %s: %v", path, err)
 	}
 	if err := f.Close(); err != nil {
-		log.Fatalf("writing %s: %v", path, err)
+		return fmt.Errorf("writing %s: %v", path, err)
 	}
+	return nil
 }

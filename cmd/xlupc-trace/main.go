@@ -20,6 +20,7 @@ import (
 	"xlupc/internal/bench"
 	"xlupc/internal/core"
 	"xlupc/internal/dis"
+	hostprof "xlupc/internal/prof"
 	"xlupc/internal/trace"
 	"xlupc/internal/transport"
 )
@@ -55,6 +56,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	prv := flag.String("prv", "", "also write the cached run's trace records to this file")
+	pf := hostprof.Register(nil)
 	flag.Parse()
 
 	prof := transport.ByName(*profName)
@@ -66,6 +68,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xlupc-trace: %v\n", err)
 		os.Exit(2)
 	}
+	stopProf := pf.MustStart("xlupc-trace")
+	defer stopProf()
 
 	fmt.Printf("# %s on %s, %d threads / %d nodes — per-state time breakdown\n",
 		*mark, prof.Name, *threads, *nodes)

@@ -58,11 +58,12 @@ type ChaosPoint struct {
 }
 
 // runChaosMark runs one stressmark under the given fault config and
-// returns its stats plus the combined self-verification checksum.
-func runChaosMark(fn dis.Func, sc Scale, prof *transport.Profile, cc core.CacheConfig, fc *fault.Config, seed int64) (core.RunStats, uint64) {
+// returns its stats, the combined self-verification checksum, and the
+// runtime (for flight-recorder post-mortems).
+func runChaosMark(fn dis.Func, sc Scale, prof *transport.Profile, cc core.CacheConfig, fc *fault.Config, seed int64) (core.RunStats, uint64, *core.Runtime) {
 	rt, err := core.NewRuntime(core.Config{
 		Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: cc, Seed: seed,
-		Fault: fc,
+		Fault: fc, Flight: flightCfg.Load(),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: %v", err))
@@ -71,9 +72,11 @@ func runChaosMark(fn dis.Func, sc Scale, prof *transport.Profile, cc core.CacheC
 	checks := make([]uint64, sc.Threads)
 	st, err := rt.Run(func(t *core.Thread) { checks[t.ID()] = fn(t, p) })
 	if err != nil {
+		// Run already auto-dumped the flight tail when a dump sink is
+		// configured; the panic carries the typed cause.
 		panic(fmt.Sprintf("bench: chaos run failed: %v", err))
 	}
-	return st, dis.Checksum(checks)
+	return st, dis.Checksum(checks), rt
 }
 
 // ChaosSweep measures a degradation curve: the stressmark and the
@@ -89,9 +92,11 @@ func ChaosSweep(mark string, prof *transport.Profile, sc Scale, losses []float64
 	pts := make([]ChaosPoint, len(losses))
 	parfor(len(losses), func(i int) {
 		fc := ChaosFaults(losses[i])
-		z, zsum := runChaosMark(fn, sc, prof, core.NoCache(), &fc, seed)
-		w, wsum := runChaosMark(fn, sc, prof, core.DefaultCache(), &fc, seed)
+		z, zsum, _ := runChaosMark(fn, sc, prof, core.NoCache(), &fc, seed)
+		w, wsum, wrt := runChaosMark(fn, sc, prof, core.DefaultCache(), &fc, seed)
 		if zsum != wsum {
+			divergenceDump(wrt, fmt.Sprintf("%s at loss %g: checksum changed by cache: %x vs %x",
+				mark, losses[i], zsum, wsum))
 			panic(fmt.Sprintf("bench: %s at loss %g: checksum changed by cache: %x vs %x",
 				mark, losses[i], zsum, wsum))
 		}
@@ -159,7 +164,7 @@ func ReliabilityTable(seed int64) []RelRow {
 		prof := profs[i]
 		nack := runNackChurn(prof, seed)
 		fc := ChaosFaults(0.02)
-		chaos, _ := runChaosMark(dis.Pointer, Scale{Threads: 8, Nodes: 4}, prof,
+		chaos, _, _ := runChaosMark(dis.Pointer, Scale{Threads: 8, Nodes: 4}, prof,
 			core.DefaultCache(), &fc, seed)
 		rows[i] = RelRow{
 			Transport:     prof.Name,

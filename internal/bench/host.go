@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"xlupc/internal/core"
+	"xlupc/internal/dis"
+	"xlupc/internal/sim"
+	"xlupc/internal/transport"
+)
+
+// HostPoint pairs one stressmark's virtual-time result with what it
+// cost the host to compute. The virtual columns (Elapsed,
+// KernelEvents, Checksum) are deterministic; the host columns (Wall,
+// EventsPerSec, AllocsPerEv, BytesPerEv) vary run to run with machine
+// load — they measure the simulator, not the simulated machine, and
+// must never be fed back into virtual-time figures.
+type HostPoint struct {
+	Mark         string
+	Elapsed      sim.Time // virtual time simulated
+	KernelEvents int64    // kernel events processed (deterministic)
+	Checksum     uint64   // stressmark self-verification value
+
+	Wall         time.Duration // host wall-clock for the run
+	EventsPerSec float64       // kernel events per host second
+	AllocsPerEv  float64       // host heap allocations per kernel event
+	BytesPerEv   float64       // host bytes allocated per kernel event
+}
+
+// HostMark runs one stressmark (cache on, no faults) and measures both
+// sides: the virtual-time result and the host's wall-clock and
+// allocation cost of computing it, normalised per kernel event.
+func HostMark(mark string, prof *transport.Profile, sc Scale, seed int64) (HostPoint, error) {
+	fn, err := dis.ByName(mark)
+	if err != nil {
+		return HostPoint{}, err
+	}
+	rt, err := core.NewRuntime(core.Config{
+		Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof,
+		Cache: core.DefaultCache(), Seed: seed,
+	})
+	if err != nil {
+		return HostPoint{}, err
+	}
+	p := dis.Default(sc.Threads)
+	checks := make([]uint64, sc.Threads)
+
+	var m0, m1 runtime.MemStats
+	runtime.GC() // settle the heap so the deltas are the run's own
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	st, err := rt.Run(func(t *core.Thread) { checks[t.ID()] = fn(t, p) })
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return HostPoint{}, err
+	}
+
+	hp := HostPoint{
+		Mark:         mark,
+		Elapsed:      st.Elapsed,
+		KernelEvents: st.KernelEvents,
+		Checksum:     dis.Checksum(checks),
+		Wall:         wall,
+	}
+	if st.KernelEvents > 0 {
+		ev := float64(st.KernelEvents)
+		if s := wall.Seconds(); s > 0 {
+			hp.EventsPerSec = ev / s
+		}
+		hp.AllocsPerEv = float64(m1.Mallocs-m0.Mallocs) / ev
+		hp.BytesPerEv = float64(m1.TotalAlloc-m0.TotalAlloc) / ev
+	}
+	return hp, nil
+}
+
+// PrintHost emits the host-performance table for every stressmark:
+// virtual figures on the left, host cost on the right. The host
+// columns are explicitly nondeterministic (see HostPoint), so this
+// table is opt-in and excluded from byte-identical-output comparisons.
+func PrintHost(w io.Writer, prof *transport.Profile, sc Scale, seed int64) ([]HostPoint, error) {
+	fmt.Fprintf(w, "# Host performance — %s, %s: simulator cost per kernel event (host-side, varies with machine load)\n",
+		prof.Name, sc)
+	fmt.Fprintf(w, "%14s %12s %10s %17s | %10s %12s %10s %10s\n",
+		"mark", "virt-time", "events", "checksum", "wall", "events/s", "allocs/ev", "bytes/ev")
+	var pts []HostPoint
+	for _, s := range dis.Suite() {
+		hp, err := HostMark(s.Name, prof, sc, seed)
+		if err != nil {
+			return pts, err
+		}
+		fmt.Fprintf(w, "%14s %12v %10d %17x | %10v %12.0f %10.2f %10.1f\n",
+			hp.Mark, hp.Elapsed, hp.KernelEvents, hp.Checksum,
+			hp.Wall.Round(time.Millisecond), hp.EventsPerSec, hp.AllocsPerEv, hp.BytesPerEv)
+		pts = append(pts, hp)
+	}
+	return pts, nil
+}

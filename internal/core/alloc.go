@@ -170,6 +170,7 @@ func (ns *nodeState) dropObject(p *sim.Proc, h svd.Handle) {
 	if ns.cache != nil {
 		n := ns.cache.InvalidateHandle(h.Key())
 		p.Sleep(sim.Time(n) * ns.rt.cfg.Profile.CacheLookupCost)
+		ns.rt.recordCacheInval(ns.id, -1, h.Key(), n)
 	}
 	cb, ok := ns.dir.LookupAny(h)
 	if !ok {

@@ -12,6 +12,7 @@ import (
 
 	"xlupc/internal/addrcache"
 	"xlupc/internal/fault"
+	"xlupc/internal/flight"
 	"xlupc/internal/mem"
 	"xlupc/internal/telemetry"
 	"xlupc/internal/trace"
@@ -113,6 +114,16 @@ type Config struct {
 	// (retransmits are what carry traffic across a restart window). Nil
 	// keeps the crash machinery entirely out of the event stream.
 	Crash *CrashConfig
+	// Flight, when non-nil, attaches a flight recorder: a fixed-capacity
+	// per-node ring of wire-level events (sends, drops, retransmits,
+	// NACKs, crashes, ...). Recording is host-side only — it costs no
+	// virtual time and leaves the event stream bit-identical. When
+	// Flight.Dump is non-nil, a run that ends in a DeadlockError,
+	// TransportError or CrashError automatically dumps the last
+	// Flight.Tail events of every involved node to it as JSONL plus a
+	// '#'-prefixed human-readable tail. Nil keeps the recorder (and its
+	// per-site pointer checks' branches) entirely cold.
+	Flight *flight.Config
 }
 
 // PinConfig overrides memory-registration behaviour.

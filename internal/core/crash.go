@@ -133,5 +133,6 @@ func (t *Thread) healStale(rn int, ep uint32, op string, span *telemetry.Span) b
 	span.Phase(telemetry.PhaseEpochRecovery, t0, t.p.Now())
 	t.rt.staleInvalidated += int64(n)
 	t.rt.tel.Add("xlupc_stale_recoveries_total", `op="`+op+`"`, 1)
+	t.rt.recordCacheInval(t.ns.id, rn, uint64(ep), n)
 	return true
 }

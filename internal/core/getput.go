@@ -536,6 +536,7 @@ func (t *Thread) watchPut(remote *sim.Completion, a *SharedArray, rn int, off in
 				span.Phase(telemetry.PhaseEpochRecovery, t0, p.Now())
 				t.rt.staleInvalidated += int64(n)
 				t.rt.tel.Add("xlupc_stale_recoveries_total", `op="put"`, 1)
+				t.rt.recordCacheInval(t.ns.id, rn, uint64(nk.Epoch), n)
 				p.Sleep(sim.BytesTime(len(data), prof.CopyByteTime))
 				t.rt.M.SendAMSpan(p, t.ns.id, rn, hPutReq,
 					&putReq{H: a.h, Off: off, WantAddr: t.ns.cache != nil, Fence: f, Done: done}, data, 0, span)

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"strconv"
 
 	"xlupc/internal/addrcache"
 	"xlupc/internal/fault"
+	"xlupc/internal/flight"
 	"xlupc/internal/sim"
 	"xlupc/internal/svd"
 	"xlupc/internal/telemetry"
@@ -41,6 +44,7 @@ type Runtime struct {
 	K       *sim.Kernel
 	M       *transport.Machine
 	tel     *telemetry.Telemetry // nil when telemetry is off
+	fr      *flight.Recorder     // nil when the flight recorder is off
 	nodes   []*nodeState
 	threads []*Thread
 
@@ -98,6 +102,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		m.EnableCoalescing(*cfg.Coalesce)
 	}
 	rt := &Runtime{cfg: cfg, K: k, M: m, tel: cfg.Telemetry, putCache: cfg.putCacheEnabled()}
+	if cfg.Flight != nil {
+		rt.fr = flight.New(cfg.Nodes, cfg.Flight.EffPerNode())
+		m.SetFlightRecorder(rt.fr)
+	}
 	rt.nodes = make([]*nodeState, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		ns := &nodeState{
@@ -180,12 +188,68 @@ func (rt *Runtime) Run(body func(t *Thread)) (RunStats, error) {
 	if rt.crashErr != nil {
 		err = rt.crashErr
 	}
+	if err != nil && rt.cfg.Flight != nil && rt.cfg.Flight.Dump != nil {
+		// Best-effort post-mortem: a broken dump sink must not mask the
+		// run's real failure.
+		_ = rt.WriteFlightDump(rt.cfg.Flight.Dump, err)
+	}
 	return rt.stats(), err
+}
+
+// FlightRecorder returns the run's flight recorder (nil when off).
+func (rt *Runtime) FlightRecorder() *flight.Recorder { return rt.fr }
+
+// flightNodes extracts the nodes a failure involves: a TransportError
+// names its dead channel's endpoints, a CrashError the crashed target.
+// Anything else (a DeadlockError, a checksum divergence, an unknown
+// error) implicates every node.
+func (rt *Runtime) flightNodes(cause error) []int {
+	var te *transport.TransportError
+	if errors.As(cause, &te) {
+		return []int{te.Src, te.Dst}
+	}
+	var ce *CrashError
+	if errors.As(cause, &ce) {
+		return []int{ce.Node}
+	}
+	return nil // all nodes
+}
+
+// WriteFlightDump writes the flight recorder's failure dump for cause
+// to w: the last Flight.Tail events of every involved node, as JSONL
+// records followed by a '#'-prefixed human-readable tail interleaved by
+// virtual time. A nil cause (an on-demand capture) dumps every node.
+// No-op when the recorder is off.
+func (rt *Runtime) WriteFlightDump(w io.Writer, cause error) error {
+	if rt.fr == nil {
+		return nil
+	}
+	if cause != nil {
+		if _, err := fmt.Fprintf(w, "# flight dump: %v\n", cause); err != nil {
+			return err
+		}
+	}
+	return rt.fr.WriteDump(w, rt.flightNodes(cause), rt.cfg.Flight.EffTail())
+}
+
+// recordCacheInval flight-records an address-cache invalidation on node:
+// rn is the remote node flushed (-1 for a handle-scoped invalidation on
+// free), key the epoch or handle key, n the entries dropped.
+func (rt *Runtime) recordCacheInval(node, rn int, key uint64, n int) {
+	rt.fr.Record(node, flight.Event{
+		T: rt.K.Now(), Kind: flight.KindCacheInval,
+		Src: int32(node), Dst: int32(rn), Seq: key, Arg: int64(n),
+	})
 }
 
 // RunStats aggregates a finished run.
 type RunStats struct {
 	Elapsed sim.Time // virtual makespan of the program
+
+	// KernelEvents is the number of simulation events the kernel
+	// processed — a deterministic function of the run, and the
+	// denominator-independent half of the host events/second figure.
+	KernelEvents int64
 
 	// Cache behaviour, aggregated over nodes and per node.
 	Cache    addrcache.Stats
@@ -238,7 +302,7 @@ type RunStats struct {
 }
 
 func (rt *Runtime) stats() RunStats {
-	st := RunStats{Elapsed: rt.K.Now()}
+	st := RunStats{Elapsed: rt.K.Now(), KernelEvents: rt.K.Events()}
 	st.Messages = rt.M.Fab.Messages()
 	st.NetBytes = rt.M.Fab.Bytes()
 	st.AMOps = rt.M.AMCount()

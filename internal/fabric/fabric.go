@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xlupc/internal/fault"
+	"xlupc/internal/flight"
 	"xlupc/internal/sim"
 )
 
@@ -83,6 +84,9 @@ type Fabric struct {
 	// a nil check as their only overhead.
 	down []sim.Time
 
+	// Flight recorder (nil = off; every site is a nil-checked Record).
+	fr *flight.Recorder
+
 	// Accounting.
 	messages int64
 	bytes    int64
@@ -137,6 +141,19 @@ func (f *Fabric) SetDeliveryHook(fn func(dst int, class Class, m any)) { f.hook 
 // FaultStats reports the hazards applied so far.
 func (f *Fabric) FaultStats() FaultStats { return f.faults }
 
+// SetFlightRecorder attaches (or, with nil, detaches) a flight
+// recorder. Recording is host-side only: it costs no virtual time and
+// never changes delivery behaviour.
+func (f *Fabric) SetFlightRecorder(fr *flight.Recorder) { f.fr = fr }
+
+// fclass maps the fabric arrival class onto the recorder's tag.
+func fclass(c Class) flight.Class {
+	if c == ClassDMA {
+		return flight.ClassDMA
+	}
+	return flight.ClassAM
+}
+
 // SetDown marks node n's NIC unreachable until the given time: every
 // packet arriving before it is dropped (the node is mid-restart). The
 // crash orchestrator calls this at each crash instant.
@@ -183,8 +200,14 @@ func (f *Fabric) Inject(p *sim.Proc, src, dst int, size int, class Class, m any)
 	f.messages++
 	f.bytes += int64(size)
 	seq := uint64(f.messages) // injection ordinal, fixed before the sleep
+	if f.fr != nil {
+		f.fr.Record(src, flight.Event{
+			T: f.k.Now(), Kind: flight.KindSend, Class: fclass(class),
+			Src: int32(src), Dst: int32(dst), Seq: seq, Arg: int64(size),
+		})
+	}
 	p.Sleep(f.wire.Serialize(size))
-	return f.deliver(seq, src, dst, class, m)
+	return f.deliver(seq, src, dst, size, class, m)
 }
 
 // InjectC is Inject for kernel-callback senders (the DMA engine's
@@ -198,13 +221,19 @@ func (f *Fabric) InjectC(src, dst int, size int, class Class, m any, done func(a
 	f.messages++
 	f.bytes += int64(size)
 	seq := uint64(f.messages)
+	if f.fr != nil {
+		f.fr.Record(src, flight.Event{
+			T: f.k.Now(), Kind: flight.KindSend, Class: fclass(class),
+			Src: int32(src), Dst: int32(dst), Seq: seq, Arg: int64(size),
+		})
+	}
 	ser := f.wire.Serialize(size)
 	if ser <= 0 { // zero-width message: no serialization event
-		done(f.deliver(seq, src, dst, class, m))
+		done(f.deliver(seq, src, dst, size, class, m))
 		return
 	}
 	f.k.After(ser, func() {
-		done(f.deliver(seq, src, dst, class, m))
+		done(f.deliver(seq, src, dst, size, class, m))
 	})
 }
 
@@ -212,60 +241,104 @@ func (f *Fabric) InjectC(src, dst int, size int, class Class, m any, done func(a
 // its arrival at dst after the route latency. It returns the nominal
 // (hazard-free) arrival time: senders pace themselves by it, and a
 // real sender cannot observe a drop or delay downstream of its NIC.
-func (f *Fabric) deliver(seq uint64, src, dst int, class Class, m any) sim.Time {
+func (f *Fabric) deliver(seq uint64, src, dst, size int, class Class, m any) sim.Time {
 	arrive := f.k.Now() + f.wire.Latency(f.topo, src, dst)
 	if f.inj == nil {
-		f.arriveAt(arrive, dst, class, m)
+		f.arriveAt(arrive, seq, src, dst, size, class, m)
 		return arrive
 	}
 	d := f.inj.Decide(seq)
 	if d.Drop {
 		f.faults.Drops++
+		f.fr.Record(dst, flight.Event{
+			T: f.k.Now(), Kind: flight.KindDrop, Class: fclass(class),
+			Src: int32(src), Dst: int32(dst), Seq: seq, Arg: int64(size),
+		})
 		return arrive
 	}
 	at := arrive
 	if d.Delay > 0 {
 		f.faults.Delayed++
 		at += d.Delay
+		f.fr.Record(dst, flight.Event{
+			T: f.k.Now(), Kind: flight.KindDelay, Class: fclass(class),
+			Src: int32(src), Dst: int32(dst), Seq: seq, Arg: int64(d.Delay),
+		})
 	}
 	if clear := f.inj.StallClear(dst, at); clear > at {
 		f.faults.Stalled++
+		f.fr.Record(dst, flight.Event{
+			T: f.k.Now(), Kind: flight.KindStall, Class: fclass(class),
+			Src: int32(src), Dst: int32(dst), Seq: seq, Arg: int64(clear - at),
+		})
 		at = clear
 	}
 	pkt := m
 	if d.Corrupt {
 		f.faults.Corrupts++
+		f.fr.Record(dst, flight.Event{
+			T: f.k.Now(), Kind: flight.KindCorrupt, Class: fclass(class),
+			Src: int32(src), Dst: int32(dst), Seq: seq, Arg: int64(size),
+		})
 		pkt = Corrupted{Inner: m}
 	}
-	f.arriveAt(at, dst, class, pkt)
+	f.arriveAt(at, seq, src, dst, size, class, pkt)
 	if d.Duplicate {
 		f.faults.Dups++
-		f.arriveAt(at+d.DupDelay, dst, class, pkt)
+		f.fr.Record(dst, flight.Event{
+			T: f.k.Now(), Kind: flight.KindDuplicate, Class: fclass(class),
+			Src: int32(src), Dst: int32(dst), Seq: seq, Arg: int64(size),
+		})
+		f.arriveAt(at+d.DupDelay, seq, src, dst, size, class, pkt)
 	}
 	return arrive
 }
 
 // arriveAt schedules one physical arrival of m at dst.
-func (f *Fabric) arriveAt(at sim.Time, dst int, class Class, m any) {
+func (f *Fabric) arriveAt(at sim.Time, seq uint64, src, dst, size int, class Class, m any) {
 	port := f.ports[dst]
 	if hook := f.hook; hook != nil {
 		f.k.At(at, func() {
 			if f.dropDown(dst) {
+				f.recordCrashDrop(seq, src, dst, class)
 				return
 			}
+			f.recordRecv(seq, src, dst, size, class)
 			hook(dst, class, m)
 		})
 		return
 	}
 	f.k.At(at, func() {
 		if f.dropDown(dst) {
+			f.recordCrashDrop(seq, src, dst, class)
 			return
 		}
+		f.recordRecv(seq, src, dst, size, class)
 		switch class {
 		case ClassDMA:
 			port.DMA.Push(m)
 		default:
 			port.AM.Push(m)
 		}
+	})
+}
+
+func (f *Fabric) recordRecv(seq uint64, src, dst, size int, class Class) {
+	if f.fr == nil {
+		return
+	}
+	f.fr.Record(dst, flight.Event{
+		T: f.k.Now(), Kind: flight.KindRecv, Class: fclass(class),
+		Src: int32(src), Dst: int32(dst), Seq: seq, Arg: int64(size),
+	})
+}
+
+func (f *Fabric) recordCrashDrop(seq uint64, src, dst int, class Class) {
+	if f.fr == nil {
+		return
+	}
+	f.fr.Record(dst, flight.Event{
+		T: f.k.Now(), Kind: flight.KindCrashDrop, Class: fclass(class),
+		Src: int32(src), Dst: int32(dst), Seq: seq,
 	})
 }

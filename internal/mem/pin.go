@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"xlupc/internal/flight"
 	"xlupc/internal/sim"
 )
 
@@ -93,6 +94,7 @@ type PinTable struct {
 	entries map[Addr]*PinEntry
 	total   int
 	seq     int64
+	fr      *flight.Recorder // nil = no flight recording
 
 	// Counters.
 	Pins      int64
@@ -110,6 +112,10 @@ func NewPinTable(node int, model CostModel, policy PinPolicy) *PinTable {
 
 // Policy returns the table's pinning policy.
 func (t *PinTable) Policy() PinPolicy { return t.policy }
+
+// SetFlightRecorder attaches (or, with nil, detaches) a flight
+// recorder; LRU evictions are recorded on the owning node's ring.
+func (t *PinTable) SetFlightRecorder(fr *flight.Recorder) { t.fr = fr }
 
 // TotalPinned reports the total pinned bytes.
 func (t *PinTable) TotalPinned() int { return t.total }
@@ -180,6 +186,10 @@ func (t *PinTable) Pin(base Addr, size int, tag uint64, now sim.Time) (sim.Time,
 			t.total -= victim.Size
 			delete(t.entries, victim.Base)
 			t.Evicted++
+			t.fr.Record(t.node, flight.Event{
+				T: now, Kind: flight.KindPinEvict, Class: flight.ClassDMA,
+				Src: int32(t.node), Dst: -1, Seq: victim.Tag, Arg: int64(victim.Size),
+			})
 		}
 	}
 	t.seq++

@@ -1,0 +1,124 @@
+// Package prof wires Go's host-side profilers into the xlupc
+// commands: CPU profiles, allocation profiles and an optional
+// net/http/pprof server, behind three flags shared by every binary.
+//
+// The simulator's own figures are virtual-time and fully
+// deterministic; prof measures the orthogonal question of what the
+// simulation costs the host to compute (see PROFILING.md). None of it
+// touches virtual time: a profiled run produces byte-identical tables.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers for -pprof
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Flags holds one command's profiling flag values. Zero values mean
+// off: a command invoked without the flags pays nothing.
+type Flags struct {
+	CPUProfile string // -cpuprofile: CPU profile destination
+	MemProfile string // -memprofile: allocation profile destination
+	PprofAddr  string // -pprof: live net/http/pprof listen address
+}
+
+// Register installs the shared profiling flags -cpuprofile,
+// -memprofile and -pprof on fs (flag.CommandLine when nil) and
+// returns their destination. Call it before flag.Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a host CPU profile to `file` (inspect with go tool pprof)")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a host allocation profile to `file` on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060) for live inspection")
+	return f
+}
+
+// Start begins whatever profiling f asks for and returns a stop
+// function that finishes it: stops the CPU profile and writes the
+// allocation profile. stop is idempotent and must run before the
+// process exits, or the CPU profile is truncated and the allocation
+// profile never written. The pprof server, if any, serves until exit.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpu *os.File
+	if f.CPUProfile != "" {
+		cpu, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	if f.PprofAddr != "" {
+		ln, err := net.Listen("tcp", f.PprofAddr)
+		if err != nil {
+			if cpu != nil {
+				pprof.StopCPUProfile()
+				cpu.Close()
+			}
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	var once sync.Once
+	var stopErr error
+	stop = func() error {
+		once.Do(func() { stopErr = f.finish(cpu) })
+		return stopErr
+	}
+	return stop, nil
+}
+
+// finish closes out the profiles Start opened.
+func (f *Flags) finish(cpu *os.File) error {
+	if cpu != nil {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+	}
+	if f.MemProfile != "" {
+		mf, err := os.Create(f.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the live set so the profile reflects retained memory
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustStart is Start for command mains: a setup failure prints
+// "<cmd>: <err>" and exits 2. The returned stop reports a finishing
+// failure the same way and exits 1 — a requested profile that cannot
+// be written must not look like success.
+func (f *Flags) MustStart(cmd string) (stop func()) {
+	s, err := f.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+		os.Exit(2)
+	}
+	return func() {
+		if err := s(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+	}
+}

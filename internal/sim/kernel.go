@@ -128,7 +128,8 @@ type Kernel struct {
 	procs   map[*Proc]struct{} // live (spawned, not finished) processes
 	procSeq uint64             // spawn-order counter (deterministic shutdown)
 	stopped bool
-	limit   Time // 0 = no limit
+	limit   Time  // 0 = no limit
+	events  int64 // events processed by Run (host-profiling figure)
 
 	cpool []*Completion // recycled completions (see Recycle)
 }
@@ -143,6 +144,11 @@ func NewKernel() *Kernel {
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// Events reports how many events Run has processed so far — a pure
+// function of the (deterministic) event stream, and the numerator of
+// the host-profiling events/second figure.
+func (k *Kernel) Events() int64 { return k.events }
 
 // SetLimit makes Run stop (without error) once the clock would pass t.
 // A zero limit means no limit.
@@ -264,6 +270,7 @@ func (k *Kernel) Run() error {
 		}
 		ev := k.heap.popEv()
 		k.now = ev.t
+		k.events++
 		if ev.fn != nil {
 			// Callback events run inline; consecutive same-time
 			// callbacks drain here without touching the Go scheduler.
@@ -279,6 +286,7 @@ func (k *Kernel) Run() error {
 				}
 				fn := nx.fn
 				k.heap.popEv()
+				k.events++
 				fn()
 			}
 			continue

@@ -253,6 +253,26 @@ func (r *Registry) Histogram(name, labels string) *Histogram {
 	return &Histogram{m: r.lookup(name, labels, kindHistogram)}
 }
 
+// HistogramSeries is one (label set, histogram) pair of a family —
+// what Histograms returns for table rendering.
+type HistogramSeries struct {
+	Labels string
+	Hist   *Histogram
+}
+
+// Histograms returns every histogram series of the named family in
+// deterministic (label-sorted) order. Non-histogram entries and other
+// families are skipped.
+func (r *Registry) Histograms(name string) []HistogramSeries {
+	var out []HistogramSeries
+	for _, m := range r.sorted() {
+		if m.name == name && m.kind == kindHistogram {
+			out = append(out, HistogramSeries{Labels: m.labels, Hist: &Histogram{m: m}})
+		}
+	}
+	return out
+}
+
 // sorted returns every metric ordered by family name then labels —
 // the deterministic export order.
 func (r *Registry) sorted() []*metric {

@@ -41,6 +41,32 @@ func TargetShare(a Attribution) float64 {
 	return sh
 }
 
+// WriteQuantiles prints the latency-quantile table: one row per
+// series of the xlupc_op_latency histogram family (every finished span
+// feeds it, labelled by op and protocol), with the sample count, mean,
+// P50/P95/P99 and max. Quantiles come from the log2 buckets, so they
+// are order-of-magnitude figures: enough to tell a 2 µs op population
+// from a 20 µs one, which is what the paper's §4.6 question needs.
+func (t *Telemetry) WriteQuantiles(w io.Writer) error {
+	series := t.Registry().Histograms("xlupc_op_latency")
+	if len(series) == 0 {
+		_, err := fmt.Fprintln(w, "latency quantiles: no samples")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-28s %8s %10s %10s %10s %10s %10s\n",
+		"latency series", "count", "mean", "p50", "p95", "p99", "max"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		h := s.Hist
+		if _, err := fmt.Fprintf(w, "  %-28s %8d %10v %10v %10v %10v %10v\n",
+			s.Labels, h.Count(), h.Mean(), h.P50(), h.P95(), h.P99(), h.Max()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteAttribution prints the phase-attribution table for one op kind:
 // per phase, the total virtual time across all finished spans, the
 // share of the op's total, and the mean per occurrence.

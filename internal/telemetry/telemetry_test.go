@@ -109,6 +109,98 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	tel := New()
+
+	// Empty histogram: every quantile (in range or not) is 0.
+	empty := tel.Registry().Histogram("empty", "")
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+
+	// Single occupied bucket: all samples in [1024, 2048). Every
+	// quantile must land inside the observed [min, max], not at the
+	// bucket's theoretical bounds.
+	one := tel.Registry().Histogram("one", "")
+	for _, v := range []sim.Time{1100, 1500, 1900} {
+		one.Observe(v)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if v := one.Quantile(q); v < 1100 || v > 1900 {
+			t.Errorf("single-bucket Quantile(%v) = %d outside observed [1100,1900]", q, v)
+		}
+	}
+
+	// q=0 is the exact minimum, q=1 the exact maximum — no bucket
+	// rounding at the extremes.
+	if v := one.Quantile(0); v != 1100 {
+		t.Errorf("Quantile(0) = %d, want min 1100", v)
+	}
+	if v := one.Quantile(1); v != 1900 {
+		t.Errorf("Quantile(1) = %d, want max 1900", v)
+	}
+
+	// Out-of-range q clamps to the extremes instead of misbehaving.
+	if v := one.Quantile(-0.5); v != 1100 {
+		t.Errorf("Quantile(-0.5) = %d, want min", v)
+	}
+	if v := one.Quantile(1.5); v != 1900 {
+		t.Errorf("Quantile(1.5) = %d, want max", v)
+	}
+
+	// One sample: every quantile is that sample.
+	single := tel.Registry().Histogram("single", "")
+	single.Observe(12345)
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if v := single.Quantile(q); v != 12345 {
+			t.Errorf("one-sample Quantile(%v) = %d, want 12345", q, v)
+		}
+	}
+
+	// The P50/P95/P99 shortcuts agree with Quantile.
+	if single.P50() != single.Quantile(0.5) || single.P95() != single.Quantile(0.95) ||
+		single.P99() != single.Quantile(0.99) {
+		t.Error("P50/P95/P99 disagree with Quantile")
+	}
+}
+
+func TestChromeTraceEscapesLabels(t *testing.T) {
+	tel := New()
+	// Op and proto names with every character class that could break a
+	// hand-built JSON encoder: quotes, backslashes, newlines, unicode.
+	s := tel.StartSpan(`get"evil`, 0, 0, 100)
+	s.SetProto("rd\\ma\nv2\tπ")
+	s.Phase(`phase"with\quotes`, 100, 200)
+	s.Finish(300)
+	var sb strings.Builder
+	if err := tel.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace with hostile labels is invalid JSON: %v\n%s", err, sb.String())
+	}
+	var gotOp, gotPhase bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Cat == "op" && ev.Name == `get"evil/rd\ma`+"\nv2\tπ":
+			gotOp = true
+		case ev.Cat == "phase" && ev.Name == `phase"with\quotes`:
+			gotPhase = true
+		}
+	}
+	if !gotOp || !gotPhase {
+		t.Fatalf("escaped names did not round-trip (op=%v phase=%v):\n%s", gotOp, gotPhase, sb.String())
+	}
+}
+
 func TestCounterPanicsOnDecrease(t *testing.T) {
 	defer func() {
 		if recover() == nil {

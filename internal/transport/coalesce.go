@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"xlupc/internal/fabric"
+	"xlupc/internal/flight"
 	"xlupc/internal/sim"
 	"xlupc/internal/telemetry"
 )
@@ -220,6 +221,11 @@ func (c *coalescer) frame(b *coalBuf) (any, int) {
 	c.stats.SavedBytes += int64(unbatched - wire)
 	c.m.Tel.Add("xlupc_coalesce_frames_total", "", 1)
 	c.m.Tel.Add("xlupc_coalesce_saved_bytes_total", "", int64(unbatched-wire))
+	c.m.FR.Record(b.key.src, flight.Event{
+		T: c.m.K.Now(), Kind: flight.KindCoalFlush, Class: flclass(b.key.class),
+		Src: int32(b.key.src), Dst: int32(b.key.dst),
+		Seq: uint64(c.stats.Frames), Arg: int64(n),
+	})
 	return frame, wire
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xlupc/internal/fabric"
+	"xlupc/internal/flight"
 	"xlupc/internal/mem"
 	"xlupc/internal/sim"
 	"xlupc/internal/telemetry"
@@ -78,6 +79,21 @@ type Machine struct {
 	// Tel is the run's telemetry hub; nil disables all recording at
 	// zero virtual-time cost (phase recording never sleeps).
 	Tel *telemetry.Telemetry
+
+	// FR is the run's flight recorder; nil (the default) disables
+	// recording at the cost of a pointer check per site.
+	FR *flight.Recorder
+}
+
+// SetFlightRecorder attaches fr to the machine and every layer that
+// records into it: the fabric (wire events) and each node's pin table
+// (evictions). Call before the simulation starts; nil detaches.
+func (m *Machine) SetFlightRecorder(fr *flight.Recorder) {
+	m.FR = fr
+	m.Fab.SetFlightRecorder(fr)
+	for _, nd := range m.Nodes {
+		nd.Pins.SetFlightRecorder(fr)
+	}
 }
 
 // Node is one cluster node as the transport sees it.
@@ -192,6 +208,10 @@ func (m *Machine) CrashNode(node int, backAt sim.Time) uint32 {
 		m.rel.peerReset(node)
 	}
 	m.Tel.Add("xlupc_crash_total", fmt.Sprintf(`node="%d"`, node), 1)
+	m.FR.Record(node, flight.Event{
+		T: m.K.Now(), Kind: flight.KindCrash,
+		Src: int32(node), Dst: -1, Seq: uint64(nd.Epoch), Arg: int64(backAt),
+	})
 	return nd.Epoch
 }
 
@@ -219,6 +239,11 @@ func (m *Machine) noteRecovered(node int) {
 	delete(m.crash.recovery, node)
 	m.crash.stats.Recovered++
 	m.crash.stats.RecoveryTime += m.K.Now() - backAt
+	m.FR.Record(node, flight.Event{
+		T: m.K.Now(), Kind: flight.KindRestart,
+		Src: int32(node), Dst: -1, Seq: uint64(m.Nodes[node].Epoch),
+		Arg: int64(m.K.Now() - backAt),
+	})
 }
 
 func (m *Machine) spawnDispatchers(nd *Node) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xlupc/internal/fabric"
+	"xlupc/internal/flight"
 	"xlupc/internal/mem"
 	"xlupc/internal/sim"
 	"xlupc/internal/telemetry"
@@ -233,6 +234,17 @@ func (m *Machine) noteNack(op string) {
 	m.Tel.Add("xlupc_rdma_nacks_total", `op="`+op+`"`, 1)
 }
 
+// recordNack flight-records an RDMA refusal at the target engine. For
+// stale NACKs seq carries the descriptor's (pre-crash) epoch; for pin
+// NACKs it carries the deregistered region's base address.
+func (e *dmaEngine) recordNack(kind flight.Kind, initiator int, seq uint64) {
+	e.m.FR.Record(e.nd.ID, flight.Event{
+		T: e.m.K.Now(), Kind: kind, Class: flight.ClassDMA,
+		Src: int32(initiator), Dst: int32(e.nd.ID), Seq: seq,
+		Arg: int64(e.nd.Epoch),
+	})
+}
+
 // dmaEngine is a node's NIC DMA engine: it services RDMA descriptors
 // with no CPU involvement, one at a time, entirely as kernel callbacks
 // — the handoff-free replacement for the parked dispatcher process
@@ -316,6 +328,7 @@ func (e *dmaEngine) serveGet(op *dmaGet) {
 			// dereferenced. NACK with the current epoch so the initiator
 			// can flush everything it cached for this node.
 			m.noteStale("get")
+			e.recordNack(flight.KindStaleNack, op.initiator, uint64(op.epoch))
 			e.sendResp(op.initiator, m.Prof.RDMADescBytes,
 				&dmaResp{done: op.done, val: Nack{Stale: true, Epoch: e.nd.Epoch}, span: op.span})
 			return
@@ -328,6 +341,7 @@ func (e *dmaEngine) serveGet(op *dmaGet) {
 			if e.nd.Pins.Policy() != mem.PinLimited {
 				panic(fmt.Sprintf("transport: node %d: RDMA access to unpinned region %#x under pin-all", e.nd.ID, op.base))
 			}
+			e.recordNack(flight.KindPinNack, op.initiator, uint64(op.base))
 			e.sendResp(op.initiator, m.Prof.RDMADescBytes,
 				&dmaResp{done: op.done, val: Nack{}, span: op.span})
 			return
@@ -367,6 +381,7 @@ func (e *dmaEngine) servePut(op *dmaPut) {
 		op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
 		if op.epoch != e.nd.Epoch {
 			m.noteStale("put")
+			e.recordNack(flight.KindStaleNack, op.initiator, uint64(op.epoch))
 			op.done.Complete(Nack{Stale: true, Epoch: e.nd.Epoch})
 			e.serveNext()
 			return
@@ -377,6 +392,7 @@ func (e *dmaEngine) servePut(op *dmaPut) {
 				panic(fmt.Sprintf("transport: node %d: RDMA write to unpinned region %#x under pin-all", e.nd.ID, op.base))
 			}
 			m.noteNack("put")
+			e.recordNack(flight.KindPinNack, op.initiator, uint64(op.base))
 			op.done.Complete(Nack{})
 			e.serveNext()
 			return

@@ -5,6 +5,7 @@ import (
 
 	"xlupc/internal/fabric"
 	"xlupc/internal/fault"
+	"xlupc/internal/flight"
 	"xlupc/internal/sim"
 	"xlupc/internal/telemetry"
 )
@@ -153,6 +154,14 @@ func classLabel(c fabric.Class) string {
 	return "am"
 }
 
+// flclass maps the fabric arrival class onto the flight recorder's tag.
+func flclass(c fabric.Class) flight.Class {
+	if c == fabric.ClassDMA {
+		return flight.ClassDMA
+	}
+	return flight.ClassAM
+}
+
 // wrap frames inner as the next packet of the (src,dst) channel, under
 // the sender's current incarnation epoch.
 func (rl *reliability) wrap(src, dst int, wire int, class fabric.Class, inner any, span *telemetry.Span) *envelope {
@@ -228,6 +237,10 @@ func (rl *reliability) expire(pk *relPacket) {
 		// records its retry phase) once the peer is back.
 		rl.stats.Parked++
 		m.Tel.Add("xlupc_transport_parked_total", `class="`+classLabel(env.class)+`"`, 1)
+		m.FR.Record(int(env.src), flight.Event{
+			T: m.K.Now(), Kind: flight.KindPark, Class: flclass(env.class),
+			Src: env.src, Dst: env.dst, Seq: env.seq, Arg: int64(du),
+		})
 		pk.timer = m.K.AfterTimer(du-m.K.Now(), func() { rl.expire(pk) })
 		return
 	}
@@ -238,6 +251,10 @@ func (rl *reliability) expire(pk *relPacket) {
 			Attempts: pk.attempt + 1, At: m.K.Now(),
 		}
 		m.Tel.Add("xlupc_transport_failures_total", `class="`+rl.failed.Class+`"`, 1)
+		m.FR.Record(int(env.src), flight.Event{
+			T: m.K.Now(), Kind: flight.KindRetryFail, Class: flclass(env.class),
+			Src: env.src, Dst: env.dst, Seq: env.seq, Arg: int64(pk.attempt + 1),
+		})
 		m.K.Stop()
 		return
 	}
@@ -245,6 +262,10 @@ func (rl *reliability) expire(pk *relPacket) {
 	pk.rto *= 2
 	rl.stats.Retransmits++
 	m.Tel.Add("xlupc_transport_retransmits_total", `class="`+classLabel(env.class)+`"`, 1)
+	m.FR.Record(int(env.src), flight.Event{
+		T: m.K.Now(), Kind: flight.KindRetransmit, Class: flclass(env.class),
+		Src: env.src, Dst: env.dst, Seq: env.seq, Arg: int64(pk.attempt),
+	})
 	env.span.Phase(telemetry.PhaseRetry, pk.lastTx, m.K.Now())
 	tx := m.Fab.Port(int(env.src)).TX
 	tx.AcquireC(func() {
@@ -265,6 +286,17 @@ func (rl *reliability) deliver(dst int, class fabric.Class, raw any) {
 		// timer retransmits. Applies to data and ACKs alike.
 		rl.stats.CorruptDrops++
 		rl.m.Tel.Add("xlupc_transport_corrupt_drops_total", "", 1)
+		if env, ok := v.Inner.(*envelope); ok {
+			rl.m.FR.Record(dst, flight.Event{
+				T: rl.m.K.Now(), Kind: flight.KindCorruptDrop, Class: flclass(env.class),
+				Src: env.src, Dst: env.dst, Seq: env.seq,
+			})
+		} else {
+			rl.m.FR.Record(dst, flight.Event{
+				T: rl.m.K.Now(), Kind: flight.KindCorruptDrop,
+				Src: -1, Dst: int32(dst),
+			})
+		}
 	case *relAck:
 		key := relKey{v.src, v.dst, v.seq, v.epoch}
 		if pk, ok := rl.inflight[key]; ok {
@@ -279,6 +311,10 @@ func (rl *reliability) deliver(dst int, class fabric.Class, raw any) {
 		if _, dup := rl.seen[key]; dup {
 			rl.stats.DupSuppressed++
 			rl.m.Tel.Add("xlupc_transport_dup_suppressed_total", `class="`+classLabel(v.class)+`"`, 1)
+			rl.m.FR.Record(dst, flight.Event{
+				T: rl.m.K.Now(), Kind: flight.KindDupSuppress, Class: flclass(v.class),
+				Src: v.src, Dst: v.dst, Seq: v.seq,
+			})
 			return
 		}
 		rl.seen[key] = struct{}{}
@@ -301,6 +337,10 @@ func (rl *reliability) sendAck(env *envelope) {
 	rl.stats.Acks++
 	ack := &relAck{src: env.src, dst: env.dst, seq: env.seq, epoch: env.epoch}
 	m := rl.m
+	m.FR.Record(int(env.dst), flight.Event{
+		T: m.K.Now(), Kind: flight.KindAck, Class: flclass(env.class),
+		Src: env.src, Dst: env.dst, Seq: env.seq,
+	})
 	tx := m.Fab.Port(int(env.dst)).TX
 	tx.AcquireC(func() {
 		m.Fab.InjectC(int(env.dst), int(env.src), m.Prof.AckBytes, fabric.ClassDMA, ack, func(sim.Time) {
