@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	host := flag.Bool("host", false, "append the host-performance table (wall clock, kernel events/s, allocs per event; host-side, not deterministic)")
+	scale := flag.Bool("scale", false, "append the big-scale dual-mode sweep (32k threads / 1k nodes with -full, 8k / 256 otherwise); virtual columns are deterministic, host columns are not")
 	flightOn := flag.Bool("flight", false, "attach a flight recorder to the chaos/crash runs; a failing run dumps its last events per involved node to stderr (costs no virtual time: report figures are unchanged)")
 	flightDump := flag.String("flight-dump", "", "write flight dumps to `path` instead of stderr (implies -flight); a clean report writes an on-demand representative capture there instead")
 	pf := hostprof.Register(nil)
@@ -136,6 +137,18 @@ func main() {
 		section(w, "Host performance (simulator cost; see PROFILING.md)",
 			"n/a — host-side figures, not from the paper; wall-clock columns vary run to run")
 		if _, err := bench.PrintHost(w, transport.GM(), bench.Scale{Threads: 16, Nodes: 4}, *seed); err != nil {
+			fail(err)
+		}
+	}
+
+	if *scale {
+		o := bench.DefaultBigOpts()
+		if !*full {
+			o.Threads, o.Nodes = 8192, 256
+		}
+		section(w, "Big-scale sweep: continuation vs goroutine execution",
+			"n/a — host-side scaling figure; both execution modes must agree bit for bit on the virtual columns")
+		if _, err := bench.PrintScale(w, o); err != nil {
 			fail(err)
 		}
 	}

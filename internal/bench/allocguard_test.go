@@ -1,0 +1,143 @@
+package bench
+
+// Allocation guards for the simulator's hot paths: the cached GET/PUT
+// fast path, the reliable-layer send/ack path, and the coalescer
+// flush. Each guard measures the *marginal* host allocations of one
+// simulated operation — AllocsPerRun over a whole run with K ops and
+// again with 2K ops, difference divided by K — so runtime construction
+// and warmup cancel out. The bounds are deliberately snug: if a future
+// change adds per-op allocations (dropping a free-list, reintroducing
+// fmt.Sprintf in a hot loop), these fail before a profile has to catch
+// it.
+
+import (
+	"testing"
+
+	"xlupc/internal/core"
+	"xlupc/internal/transport"
+)
+
+// allocsForOps runs the cached GET/PUT loop with ops operations and
+// returns total host allocations for the whole run.
+func allocsForOps(t *testing.T, ops int, cfgFn func() core.Config, body func(th *core.Thread, ops int)) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(3, func() {
+		rt, err := core.NewRuntime(cfgFn())
+		if err != nil {
+			panic(err)
+		}
+		if _, err := rt.Run(func(th *core.Thread) { body(th, ops) }); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// marginal returns host allocations per op via the K / 2K difference.
+func marginal(t *testing.T, k int, cfgFn func() core.Config, body func(th *core.Thread, ops int)) float64 {
+	t.Helper()
+	a1 := allocsForOps(t, k, cfgFn, body)
+	a2 := allocsForOps(t, 2*k, cfgFn, body)
+	return (a2 - a1) / float64(k)
+}
+
+func guardCfg(mut func(*core.Config)) func() core.Config {
+	return func() core.Config {
+		cfg := core.Config{
+			Threads: 2, Nodes: 2,
+			Profile: transport.GM(),
+			Cache:   core.DefaultCache(),
+			Seed:    9,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		return cfg
+	}
+}
+
+// getPutBody warms the address cache, then runs ops rounds of the
+// blocking fast path: one remote GetUint64 plus one remote PutUint64
+// with a fence every 8 rounds.
+func getPutBody(th *core.Thread, ops int) {
+	a := th.AllAlloc("guard", 512, 8, 256)
+	th.Barrier()
+	if th.ID() == 0 {
+		r := a.At(256) // node 1's block
+		th.PutUint64(r, 7)
+		th.Fence()
+		_ = th.GetUint64(r) // cache now warm for both directions
+		for i := 0; i < ops; i++ {
+			v := th.GetUint64(r)
+			th.PutUint64(r, v+1)
+			if i%8 == 7 {
+				th.Fence()
+			}
+		}
+		th.Fence()
+	}
+	th.Barrier()
+}
+
+// TestAllocGuardGetPut bounds the cached GET/PUT fast path. Each round
+// is one GET and one PUT (two ops); the bound is per round.
+func TestAllocGuardGetPut(t *testing.T) {
+	per := marginal(t, 256, guardCfg(nil), getPutBody)
+	t.Logf("GET+PUT round: %.2f allocs", per)
+	// One cached round is RDMA both ways: pooled dma descriptors, w64
+	// staging, pooled packets. Budget covers the ack bookkeeping and
+	// leaves no room for a per-op fmt/[]byte regression.
+	if per > 12 {
+		t.Errorf("cached GET/PUT round allocates %.2f (> 12): hot path regressed", per)
+	}
+}
+
+// TestAllocGuardReliable bounds the reliable-layer send/ack path: the
+// same fast path over a Rel-enabled (lossless) wire, so every packet
+// takes the sequence/ack/retransmit-arming code.
+func TestAllocGuardReliable(t *testing.T) {
+	per := marginal(t, 256, guardCfg(func(c *core.Config) {
+		rel := transport.DefaultRelConfig()
+		c.Rel = &rel
+	}), getPutBody)
+	t.Logf("reliable GET+PUT round: %.2f allocs", per)
+	// Measured ~31: the reliable layer retains a per-packet envelope on
+	// the retransmit queue (seq/ack bookkeeping, timer arming) for each
+	// of the round's packets until the ack clears it, which the pool
+	// cannot absorb. The bound leaves headroom for queue growth noise
+	// but trips on any new per-packet closure or buffer.
+	if per > 36 {
+		t.Errorf("reliable GET/PUT round allocates %.2f (> 36): send/ack path regressed", per)
+	}
+}
+
+// coalesceBody issues batches of split-phase NbGets that the coalescer
+// buffers and flushes, retiring each batch with SyncAll.
+func coalesceBody(th *core.Thread, ops int) {
+	a := th.AllAlloc("guard", 512, 8, 256)
+	th.Barrier()
+	if th.ID() == 0 {
+		var bufs [8][8]byte
+		r := a.At(256)
+		_ = th.GetUint64(r) // warm the cache
+		for i := 0; i < ops; i++ {
+			for j := range bufs {
+				th.NbGet(bufs[j][:], a.At(256+int64((i+j)%256)))
+			}
+			th.SyncAll()
+		}
+	}
+	th.Barrier()
+}
+
+// TestAllocGuardCoalesce bounds the coalescer flush path. Each round
+// is 8 coalesced NbGets plus a SyncAll; the bound is per round.
+func TestAllocGuardCoalesce(t *testing.T) {
+	per := marginal(t, 64, guardCfg(func(c *core.Config) {
+		cc := transport.DefaultCoalConfig()
+		c.Coalesce = &cc
+	}), coalesceBody)
+	t.Logf("coalesced 8xNbGet+SyncAll round: %.2f allocs", per)
+	if per > 64 {
+		t.Errorf("coalesced round allocates %.2f (> 64): flush path regressed", per)
+	}
+}

@@ -1,0 +1,15 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestBig32kManual(t *testing.T) {
+	if os.Getenv("XLUPC_BIG32K") == "" {
+		t.Skip("manual")
+	}
+	if _, err := PrintScale(os.Stderr, DefaultBigOpts()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -200,6 +200,7 @@ func (rt *Runtime) handleFreeReq(p *sim.Proc, n *transport.Node, msg *transport.
 	if _, ok := ns.dir.LookupAny(m.H); !ok {
 		// Allocation notify still in flight; retry shortly.
 		port := rt.M.Fab.Port(ns.id)
+		msg.Retain() // redelivered below; the dispatcher must not recycle it
 		rt.K.After(200*sim.Ns, func() { port.AM.Push(msg) })
 		return
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"xlupc/internal/sim"
 	"xlupc/internal/trace"
 	"xlupc/internal/transport"
@@ -83,7 +81,7 @@ func (t *Thread) Barrier() {
 	nb.arrived++
 	if nb.arrived < tpn {
 		if nb.release == nil {
-			nb.release = sim.NewCompletion(t.rt.K, fmt.Sprintf("barrier-release n%d", t.ns.id))
+			nb.release = sim.NewCompletion(t.rt.K, "barrier-release")
 		}
 		t.p.Wait(nb.release)
 		return
@@ -116,7 +114,7 @@ func (nb *nodeBarrier) disseminate(p *sim.Proc, epoch int64) {
 			delete(nb.recv, key)
 			continue
 		}
-		c := sim.NewCompletion(nb.rt.K, fmt.Sprintf("barrier n%d e%d r%d", nb.ns.id, epoch, dist))
+		c := sim.NewCompletion(nb.rt.K, "barrier-round")
 		nb.waiters[key] = c
 		p.Wait(c)
 		delete(nb.waiters, key)
@@ -138,7 +136,7 @@ func (nb *nodeBarrier) flat(p *sim.Proc, epoch int64) {
 	// Master: collect n-1 arrivals, then release everyone.
 	need := n - 1
 	if nb.flatCount[epoch] < need {
-		c := sim.NewCompletion(nb.rt.K, fmt.Sprintf("flat-barrier e%d", epoch))
+		c := sim.NewCompletion(nb.rt.K, "flat-barrier")
 		nb.flatWait = c
 		nb.flatWaitEpoch = epoch
 		nb.flatTarget = need
@@ -158,7 +156,7 @@ func (nb *nodeBarrier) await(p *sim.Proc, key dissKey) {
 		delete(nb.recv, key)
 		return
 	}
-	c := sim.NewCompletion(nb.rt.K, fmt.Sprintf("barrier n%d e%d r%d", nb.ns.id, key.epoch, key.round))
+	c := sim.NewCompletion(nb.rt.K, "barrier-round")
 	nb.waiters[key] = c
 	p.Wait(c)
 	delete(nb.waiters, key)

@@ -57,6 +57,25 @@ func DefaultCache() CacheConfig {
 // NoCache returns the baseline configuration.
 func NoCache() CacheConfig { return CacheConfig{} }
 
+// ExecMode selects how UPC thread bodies execute under the simulation
+// kernel.
+type ExecMode int
+
+const (
+	// ExecGoroutine (the default) backs every thread with a goroutine
+	// parked/resumed through the kernel's channel handoff. It supports
+	// arbitrary Go control flow in bodies (Runtime.Run) and is the
+	// reference semantics.
+	ExecGoroutine ExecMode = iota
+	// ExecCont runs thread bodies as continuation state-machines
+	// scheduled directly on the event heap (Runtime.RunCont): no
+	// goroutine, no channels, no per-thread stack — the mode that makes
+	// 100k-thread sweeps feasible. Bodies must be written in
+	// continuation-passing style against the Thread's ...C methods.
+	// Both modes produce bit-identical RunStats for the same workload.
+	ExecCont
+)
+
 // Config describes one simulated run.
 type Config struct {
 	// Threads is the number of UPC threads; Nodes the number of
@@ -68,6 +87,10 @@ type Config struct {
 	// Profile selects the transport (transport.GM() or
 	// transport.LAPI()). Required.
 	Profile *transport.Profile
+	// Exec selects goroutine-backed (default) or continuation-mode
+	// thread execution; see ExecMode. Run requires ExecGoroutine,
+	// RunCont requires ExecCont.
+	Exec ExecMode
 	// Cache configures the remote address cache.
 	Cache CacheConfig
 	// Seed drives all pseudo-randomness in the run (workloads,

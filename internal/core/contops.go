@@ -1,0 +1,231 @@
+package core
+
+// contOps is a continuation-mode thread's pre-bound operation state:
+// the in-flight fields of its (single) blocking GET or PUT plus step
+// funcs bound once, on first remote access — so the hot cached-RDMA
+// and local shared-memory paths allocate no closures per operation.
+// Blocking semantics guarantee a thread has at most one such operation
+// outstanding (asynchronous PUT completion is watched elsewhere), so
+// one record per thread suffices.
+
+import (
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+	"xlupc/internal/svd"
+	"xlupc/internal/telemetry"
+	"xlupc/internal/transport"
+)
+
+type contOps struct {
+	t *Thread
+
+	// Remote GET in flight.
+	ga        *SharedArray
+	grn       int
+	goff      int64
+	gdst      []byte
+	gspan     *telemetry.Span
+	gstart    sim.Time
+	gt0       sim.Time
+	gthen     func()
+	gLookupFn func()
+	gRdmaFn   func(data []byte, nack transport.Nack, ok bool)
+	gFinishFn func()
+
+	// Remote PUT in flight.
+	pa        *SharedArray
+	prn       int
+	poff      int64
+	psrc      []byte
+	pspan     *telemetry.Span
+	pstart    sim.Time
+	pt0       sim.Time
+	pthen     func()
+	pLookupFn func()
+	pRdmaFn   func(remote *sim.Completion)
+	pFinishFn func()
+
+	// Local access in flight (GET when ldst is set, PUT otherwise).
+	lcb    *svd.ControlBlock
+	la     *SharedArray
+	lidx   int64
+	ldst   []byte
+	lsrc   []byte
+	lspan  *telemetry.Span
+	lthen  func()
+	lGetFn func()
+	lPutFn func()
+
+	// Eager GET leg in flight — the slow path of a blocking remote GET
+	// or a split-phase retire fallback; the thread runs at most one at
+	// a time (blocking legs block, and Sync retires subs sequentially).
+	edst    []byte
+	edone   *sim.Completion
+	ethen   func()
+	eSendFn func()
+	eDoneFn func()
+
+	// GetUint64C wrapper: the pending value callback.
+	u64then func(v uint64)
+	u64Fn   func()
+}
+
+// ops returns the thread's op state, building the pre-bound step funcs
+// on first use (threads that never touch shared memory allocate none).
+func (t *Thread) ops() *contOps {
+	if t.cops == nil {
+		o := &contOps{t: t}
+		o.gLookupFn = o.getLookup
+		o.gRdmaFn = o.getRDMADone
+		o.gFinishFn = o.getFinish
+		o.pLookupFn = o.putLookup
+		o.pRdmaFn = o.putRDMADone
+		o.pFinishFn = o.putFinish
+		o.lGetFn = o.localGetDone
+		o.lPutFn = o.localPutDone
+		o.eSendFn = o.eagerSent
+		o.eDoneFn = o.eagerDone
+		o.u64Fn = o.u64Done
+		t.cops = o
+	}
+	return t.cops
+}
+
+// --- Remote GET ---------------------------------------------------------
+
+// getLookup runs after the cache-lookup cost: hit goes one-sided,
+// miss falls through to the slow (eager/rendezvous) path.
+func (o *contOps) getLookup() {
+	t := o.t
+	o.gspan.Phase(telemetry.PhaseCacheLookup, o.gt0, t.Now())
+	if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(o.ga.h, o.grn)); hit {
+		o.gspan.SetProto("rdma")
+		t.rt.M.RDMAGetSpanC(t.c, t.ns.id, o.grn, base, base+mem.Addr(o.goff), o.gdst, len(o.gdst), ep, o.gspan, o.gRdmaFn)
+		return
+	}
+	t.getSlowC(o.ga, o.grn, o.goff, o.gdst, o.gspan, o.gFinishFn)
+}
+
+// getRDMADone finishes a cache-hit one-sided read, or falls back on a
+// NACK exactly like the blocking twin (the rare fallback paths may
+// allocate; the hot success path does not).
+func (o *contOps) getRDMADone(data []byte, nack transport.Nack, ok bool) {
+	t := o.t
+	if ok {
+		copy(o.gdst, data)
+		o.getFinish()
+		return
+	}
+	if nack.Stale {
+		a, rn, off, dst, span := o.ga, o.grn, o.goff, o.gdst, o.gspan
+		t.healStaleC(rn, nack.Epoch, "get", span, func(cont bool) {
+			if !cont {
+				o.getFinish()
+				return
+			}
+			t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="stale_epoch"`, 1)
+			t.getSlowC(a, rn, off, dst, span, o.gFinishFn)
+		})
+		return
+	}
+	t.ns.cache.Remove(cacheKey(o.ga.h, o.grn))
+	t.rt.tel.Add("xlupc_get_fallbacks_total", `reason="nack"`, 1)
+	t.getSlowC(o.ga, o.grn, o.goff, o.gdst, o.gspan, o.gFinishFn)
+}
+
+// getFinish closes out the remote GET: trace, span, counters, then the
+// caller's continuation. The in-flight fields are consumed first so
+// the continuation can immediately start another operation.
+func (o *contOps) getFinish() {
+	t := o.t
+	span, start, then := o.gspan, o.gstart, o.gthen
+	o.ga, o.gdst, o.gspan, o.gthen = nil, nil, nil, nil
+	t.rt.cfg.Trace.End(t.id, t.Now())
+	span.Finish(t.Now())
+	t.gets++
+	t.getTime += t.Now() - start
+	then()
+}
+
+// --- Remote PUT ---------------------------------------------------------
+
+func (o *contOps) putLookup() {
+	t := o.t
+	o.pspan.Phase(telemetry.PhaseCacheLookup, o.pt0, t.Now())
+	if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(o.pa.h, o.prn)); hit {
+		o.pspan.SetProto("rdma")
+		// The origin buffer must survive until the remote completion
+		// (and a possible retry), so the PUT still captures src.
+		data := append([]byte(nil), o.psrc...)
+		o.psrc = data
+		t.rt.M.RDMAPutSpanC(t.c, t.ns.id, o.prn, base, base+mem.Addr(o.poff), data, ep, o.pspan, o.pRdmaFn)
+		return
+	}
+	t.putSlowC(o.pa, o.prn, o.poff, o.psrc, o.pspan, o.pFinishFn)
+}
+
+func (o *contOps) putRDMADone(remote *sim.Completion) {
+	t := o.t
+	t.fence.Add(1)
+	t.watchPut(remote, o.pa, o.prn, o.poff, o.psrc, o.pspan, nil)
+	o.putFinish()
+}
+
+func (o *contOps) putFinish() {
+	t := o.t
+	span, start, then := o.pspan, o.pstart, o.pthen
+	o.pa, o.psrc, o.pspan, o.pthen = nil, nil, nil, nil
+	t.rt.cfg.Trace.End(t.id, t.Now())
+	span.Finish(t.Now())
+	t.puts++
+	t.putTime += t.Now() - start
+	then()
+}
+
+// --- Local access -------------------------------------------------------
+
+func (o *contOps) localGetDone() {
+	t := o.t
+	cb, a, idx, dst, span, then := o.lcb, o.la, o.lidx, o.ldst, o.lspan, o.lthen
+	o.lcb, o.la, o.ldst, o.lspan, o.lthen = nil, nil, nil, nil, nil
+	t.ns.tn.Mem.Read(dst, cb.LocalBase+mem.Addr(a.l.ChunkOffset(idx)))
+	span.Finish(t.Now())
+	t.localGets++
+	then()
+}
+
+func (o *contOps) localPutDone() {
+	t := o.t
+	cb, a, idx, src, span, then := o.lcb, o.la, o.lidx, o.lsrc, o.lspan, o.lthen
+	o.lcb, o.la, o.lsrc, o.lspan, o.lthen = nil, nil, nil, nil, nil
+	t.ns.tn.Mem.Write(cb.LocalBase+mem.Addr(a.l.ChunkOffset(idx)), src)
+	span.Finish(t.Now())
+	t.localPuts++
+	then()
+}
+
+// --- Eager GET ----------------------------------------------------------
+
+// eagerSent runs once the GET request is on the wire: park on the
+// reply. WaitFn stores the pre-bound step directly — no wrapper.
+func (o *contOps) eagerSent() {
+	o.edone.WaitFn(o.t.c, o.eDoneFn)
+}
+
+// eagerDone copies the reply payload out and runs the continuation.
+func (o *contOps) eagerDone() {
+	done := o.edone
+	copy(o.edst, done.Bytes())
+	o.t.rt.K.Recycle(done) // handler's only reference died with the reply
+	then := o.ethen
+	o.edst, o.edone, o.ethen = nil, nil, nil
+	then()
+}
+
+// --- GetUint64C wrapper -------------------------------------------------
+
+func (o *contOps) u64Done() {
+	then := o.u64then
+	o.u64then = nil
+	then(byteOrder.Uint64(o.t.w64[:]))
+}

@@ -206,7 +206,7 @@ func (rt *Runtime) handleGetRep(p *sim.Proc, n *transport.Node, msg *transport.M
 	p.Sleep(sim.BytesTime(len(msg.Payload), rt.cfg.Profile.CopyByteTime))
 	msg.Span.Phase(telemetry.PhaseCopy, t0, p.Now())
 	rt.insertPiggyback(p, ns, msg.Src, m.H, m.Base, m.Epoch, m.Pairs, msg.Span)
-	m.Done.Complete(msg.Payload)
+	m.Done.CompleteBytes(msg.Payload)
 }
 
 // insertPiggyback fills the initiator's cache from a reply's
@@ -343,7 +343,7 @@ func (t *Thread) getRun(a *SharedArray, idx int64, dst []byte) {
 		if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
 			// RDMA fast path: final remote address computed locally.
 			span.SetProto("rdma")
-			data, nack, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), size, ep, span)
+			data, nack, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, base, base+mem.Addr(off), dst, size, ep, span)
 			if ok {
 				copy(dst, data)
 				return
@@ -381,7 +381,7 @@ func (t *Thread) getRun(a *SharedArray, idx int64, dst []byte) {
 		t.eagerGet(a, rn, off, dst, span) // registration refused: copy path
 		return
 	}
-	data, nack, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), size, res.epoch, span)
+	data, nack, ok := t.rt.M.RDMAGetSpan(t.p, t.ns.id, rn, res.base, res.base+mem.Addr(off), dst, size, res.epoch, span)
 	if !ok {
 		if nack.Stale { // the target restarted between the RTR and the transfer
 			if !t.healStale(rn, nack.Epoch, "get", span) {
@@ -406,7 +406,7 @@ func (t *Thread) eagerGet(a *SharedArray, rn int, off int64, dst []byte, span *t
 	t.rt.M.SendAMSpan(t.p, t.ns.id, rn, hGetReq,
 		&getReq{H: a.h, Off: off, Size: len(dst), WantAddr: t.ns.cache != nil, Done: done}, nil, 0, span)
 	t.p.Wait(done)
-	copy(dst, done.Value().([]byte))
+	copy(dst, done.Bytes())
 	t.rt.K.Recycle(done) // handler's only reference died with the reply
 }
 

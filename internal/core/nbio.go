@@ -15,25 +15,56 @@ import (
 // returned for empty or fully local transfers whose work completed at
 // issue — is valid and retires as a no-op.
 type Handle struct {
-	op *nbOp
+	op  *nbOp
+	gen uint32
 }
 
 // Valid reports whether the handle refers to a still-tracked operation.
-func (h Handle) Valid() bool { return h.op != nil }
+// Handles to retired (and since recycled) operations report false.
+func (h Handle) Valid() bool { return h.op != nil && h.op.gen == h.gen }
 
 // nbOp is the per-handle state: one sub-operation per single-affinity
-// run of the transfer, retired in issue order.
+// run of the transfer, retired in issue order. Descriptors are recycled
+// through the issuing thread's free list; gen is bumped on recycle so a
+// stale Handle can never alias a newer operation.
 type nbOp struct {
 	subs    []nbSub
 	retired bool
+	gen     uint32
 }
 
 // nbSub is one remote run of a split-phase operation: the completion
 // the issuing thread waits on at Sync, and the retire work (copy-out,
-// NACK fallback, span finish, counters) that runs once it fires.
+// NACK fallback, span finish, counters) that runs once it fires — fin
+// for goroutine-mode issues, finC (continuation-passing, NACK fallback
+// included) for continuation-mode ones. At most one is set.
 type nbSub struct {
 	done *sim.Completion
 	fin  func()
+	finC func(then func())
+}
+
+// newNbOp takes a descriptor from the thread's free list (or allocates
+// the first time); freeNbOp returns one after retire, bumping the
+// generation so outstanding Handles to it turn invalid.
+func (t *Thread) newNbOp() *nbOp {
+	if n := len(t.nbPool); n > 0 {
+		op := t.nbPool[n-1]
+		t.nbPool[n-1] = nil
+		t.nbPool = t.nbPool[:n-1]
+		return op
+	}
+	return &nbOp{}
+}
+
+func (t *Thread) freeNbOp(op *nbOp) {
+	op.gen++
+	op.retired = false
+	for i := range op.subs {
+		op.subs[i] = nbSub{}
+	}
+	op.subs = op.subs[:0]
+	t.nbPool = append(t.nbPool, op)
 }
 
 // NbGet starts a split-phase read of len(dst) bytes of consecutive
@@ -52,7 +83,7 @@ func (t *Thread) NbGet(dst []byte, r Ref) Handle {
 		return Handle{}
 	}
 	r.A.check(r.Idx + n - 1)
-	op := &nbOp{}
+	op := t.newNbOp()
 	idx, off := r.Idx, int64(0)
 	for n > 0 {
 		run := r.A.l.ContigRun(idx)
@@ -65,10 +96,11 @@ func (t *Thread) NbGet(dst []byte, r Ref) Handle {
 		n -= run
 	}
 	if len(op.subs) == 0 {
+		t.freeNbOp(op)
 		return Handle{} // fully local: the data is already in dst
 	}
 	t.nbOut = append(t.nbOut, op)
-	return Handle{op: op}
+	return Handle{op: op, gen: op.gen}
 }
 
 // NbPut starts a split-phase write of len(src) bytes of consecutive
@@ -87,7 +119,7 @@ func (t *Thread) NbPut(r Ref, src []byte) Handle {
 		return Handle{}
 	}
 	r.A.check(r.Idx + n - 1)
-	op := &nbOp{}
+	op := t.newNbOp()
 	idx, off := r.Idx, int64(0)
 	for n > 0 {
 		run := r.A.l.ContigRun(idx)
@@ -100,10 +132,11 @@ func (t *Thread) NbPut(r Ref, src []byte) Handle {
 		n -= run
 	}
 	if len(op.subs) == 0 {
+		t.freeNbOp(op)
 		return Handle{}
 	}
 	t.nbOut = append(t.nbOut, op)
-	return Handle{op: op}
+	return Handle{op: op, gen: op.gen}
 }
 
 // Sync blocks until the operation behind h has completed: the thread's
@@ -111,7 +144,7 @@ func (t *Thread) NbPut(r Ref, src []byte) Handle {
 // and the handle's sub-operations are retired in issue order.
 func (t *Thread) Sync(h Handle) {
 	op := h.op
-	if op == nil || op.retired {
+	if op == nil || op.gen != h.gen || op.retired {
 		return
 	}
 	t.rt.M.FlushCoalesced(t.p, t.ns.id)
@@ -122,6 +155,7 @@ func (t *Thread) Sync(h Handle) {
 			break
 		}
 	}
+	t.freeNbOp(op)
 }
 
 // SyncAll retires every outstanding split-phase handle of this thread,
@@ -134,9 +168,12 @@ func (t *Thread) SyncAll() {
 	t.rt.M.FlushCoalesced(t.p, t.ns.id)
 	for len(t.nbOut) > 0 {
 		op := t.nbOut[0]
+		t.nbOut[0] = nil
 		t.nbOut = t.nbOut[1:]
 		t.retire(op)
+		t.freeNbOp(op)
 	}
+	t.nbOut = t.nbOut[:0]
 }
 
 func (t *Thread) retire(op *nbOp) {
@@ -197,9 +234,10 @@ func (t *Thread) nbGetRun(op *nbOp, a *SharedArray, idx int64, dst []byte) {
 		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
 		if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
 			span.SetProto("rdma")
-			res := t.rt.M.RDMAGetStart(t.p, t.ns.id, rn, base, base+mem.Addr(off), size, ep, span)
+			res := t.rt.M.RDMAGetStart(t.p, t.ns.id, rn, base, base+mem.Addr(off), dst, size, ep, span)
 			op.subs = append(op.subs, nbSub{done: res, fin: func() {
 				val := res.Value()
+				data := res.Bytes()
 				t.rt.K.Recycle(res)
 				if nk, nack := val.(transport.Nack); nack {
 					// Redo the run over the eager path, synchronously —
@@ -221,7 +259,7 @@ func (t *Thread) nbGetRun(op *nbOp, a *SharedArray, idx int64, dst []byte) {
 					span.SetProto("eager")
 					t.eagerGet(a, rn, off, dst, span)
 				} else {
-					copy(dst, val.([]byte))
+					copy(dst, data)
 				}
 				finish()
 			}})
@@ -233,7 +271,7 @@ func (t *Thread) nbGetRun(op *nbOp, a *SharedArray, idx int64, dst []byte) {
 	t.rt.M.SendAMCoalesced(t.p, t.ns.id, rn, hGetReq,
 		&getReq{H: a.h, Off: off, Size: size, WantAddr: t.ns.cache != nil, Done: done}, nil, 0, span)
 	op.subs = append(op.subs, nbSub{done: done, fin: func() {
-		copy(dst, done.Value().([]byte))
+		copy(dst, done.Bytes())
 		t.rt.K.Recycle(done)
 		finish()
 	}})

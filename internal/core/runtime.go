@@ -153,6 +153,9 @@ func (rt *Runtime) Run(body func(t *Thread)) (RunStats, error) {
 	if rt.ran {
 		return RunStats{}, fmt.Errorf("core: Runtime.Run called twice; build a fresh Runtime per run")
 	}
+	if rt.cfg.Exec != ExecGoroutine {
+		return RunStats{}, fmt.Errorf("core: Runtime.Run needs Config.Exec == ExecGoroutine; use RunCont for continuation mode")
+	}
 	rt.ran = true
 	// Whatever way the run ends — clean completion, Stop, an event
 	// limit, a deadlock error, or a panic unwinding through Run — the
@@ -163,20 +166,30 @@ func (rt *Runtime) Run(body func(t *Thread)) (RunStats, error) {
 	rt.liveBodies = len(rt.threads)
 	for _, th := range rt.threads {
 		th := th
-		rt.K.Spawn(fmt.Sprintf("upc%d", th.id), func(p *sim.Proc) {
+		rt.K.SpawnIdx("upc", th.id, func(p *sim.Proc) {
 			th.p = p
 			body(th)
 			th.Fence() // drain outstanding PUTs before exiting
-			rt.liveBodies--
-			if rt.liveBodies == 0 {
-				// The program is over: crashes scheduled beyond its end
-				// must not fire — they would advance the clock (inflating
-				// the makespan) and mutate state nothing will observe.
-				rt.cancelCrashTimers()
-			}
+			rt.bodyDone()
 		})
 	}
-	err := rt.K.Run()
+	return rt.finishRun(rt.K.Run())
+}
+
+// bodyDone accounts one finished program thread; the last one cancels
+// crash timers scheduled beyond the program's natural end — they would
+// advance the clock (inflating the makespan) and mutate state nothing
+// will observe.
+func (rt *Runtime) bodyDone() {
+	rt.liveBodies--
+	if rt.liveBodies == 0 {
+		rt.cancelCrashTimers()
+	}
+}
+
+// finishRun is the common epilogue of Run and RunCont: fold in the
+// typed transport and crash failures and trigger the flight post-mortem.
+func (rt *Runtime) finishRun(err error) (RunStats, error) {
 	// A packet that exhausted its retry budget stopped the kernel; the
 	// typed failure outranks whatever secondary state Run reported, and
 	// the deferred Shutdown unwinds the stranded processes — a clean
@@ -482,6 +495,7 @@ func (ns *nodeState) resolve(p *sim.Proc, h svd.Handle, msg *transport.Msg) (cb 
 	cb, ok := ns.dir.LookupAny(h)
 	if !ok { // unknown: retry once the notification lands
 		port := ns.rt.M.Fab.Port(ns.id)
+		msg.Retain() // redelivered below; the dispatcher must not recycle it
 		ns.rt.K.After(200*sim.Ns, func() { port.AM.Push(msg) })
 		return nil, true
 	}

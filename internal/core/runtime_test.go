@@ -681,7 +681,7 @@ func TestHandlerRequeuesUntilNotifyArrives(t *testing.T) {
 	if !done.Done() {
 		t.Fatal("requeued GET never completed")
 	}
-	if got := done.Value().([]byte); got[0] != 1 || got[7] != 8 {
+	if got := done.Bytes(); got[0] != 1 || got[7] != 8 {
 		t.Fatalf("requeued GET returned %v", got)
 	}
 	if done.CompletedAt() < 50*sim.Us {

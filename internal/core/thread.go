@@ -19,7 +19,8 @@ type Thread struct {
 	rt *Runtime
 	id int
 	ns *nodeState
-	p  *sim.Proc
+	p  *sim.Proc // goroutine mode (Runtime.Run); nil under ExecCont
+	c  *sim.Cont // continuation mode (Runtime.RunCont); nil under ExecGoroutine
 
 	fence *sim.Counter
 	rng   *rand.Rand
@@ -28,6 +29,24 @@ type Thread struct {
 	// handles; SyncAll (and through it every fence and barrier) drains
 	// it.
 	nbOut []*nbOp
+
+	// nbPool recycles retired split-phase descriptors; each descriptor
+	// carries a generation stamp that keeps stale Handles from aliasing
+	// a recycled one (see nbio.go).
+	nbPool []*nbOp
+
+	// w64 stages single-element 8-byte transfers, so GetUint64/PutUint64
+	// (the pointer-chaser hot path) allocate nothing.
+	w64 [8]byte
+
+	// xfer is the reusable staging buffer Fill and Copy stream through
+	// in bounded chunks, instead of allocating n*elemSize up front.
+	xfer []byte
+
+	// cops is the continuation-mode pre-bound op state machine (see
+	// contops.go); nil until the thread's first shared access under
+	// ExecCont, and always nil in goroutine mode.
+	cops *contOps
 
 	// Counters for RunStats.
 	gets, puts           int64
@@ -40,8 +59,7 @@ func newThread(rt *Runtime, id int) *Thread {
 		rt:    rt,
 		id:    id,
 		ns:    rt.nodeOfThread(id),
-		fence: sim.NewCounter(rt.K, fmt.Sprintf("fence%d", id), 0),
-		rng:   rand.New(rand.NewSource(rt.cfg.Seed ^ int64(uint64(id)*0x9e3779b97f4a7c15>>1))),
+		fence: sim.NewCounterIdx(rt.K, "fence", id, 0),
 	}
 }
 
@@ -58,12 +76,19 @@ func (t *Thread) Node() int { return t.ns.id }
 // memory and a NIC).
 func (t *Thread) ThreadsPerNode() int { return t.rt.cfg.ThreadsPerNode() }
 
-// Now is the current virtual time.
-func (t *Thread) Now() sim.Time { return t.p.Now() }
+// Now is the current virtual time (valid in both execution modes).
+func (t *Thread) Now() sim.Time { return t.rt.K.Now() }
 
 // Rand is the thread's deterministic random source (workloads use it
-// so runs are reproducible for a config seed).
-func (t *Thread) Rand() *rand.Rand { return t.rng }
+// so runs are reproducible for a config seed). Built on first use: a
+// rand source is ~5KB, which at 128k threads would dominate startup
+// memory for workloads that never draw one.
+func (t *Thread) Rand() *rand.Rand {
+	if t.rng == nil {
+		t.rng = rand.New(rand.NewSource(t.rt.cfg.Seed ^ int64(uint64(t.id)*0x9e3779b97f4a7c15>>1)))
+	}
+	return t.rng
+}
 
 // Compute models local computation: the thread occupies one of its
 // node's cores for d. On transports with no communication overlap this
@@ -157,18 +182,20 @@ func (t *Thread) Put(r Ref, data []byte) {
 	t.PutBulk(r, data)
 }
 
-// GetUint64 reads element r of an 8-byte-element array.
+// GetUint64 reads element r of an 8-byte-element array. It stages
+// through the thread's fixed 8-byte buffer, so the hot pointer-chasing
+// path performs no allocation.
 func (t *Thread) GetUint64(r Ref) uint64 {
-	var b [8]byte
-	t.GetBulk(b[:], r)
-	return byteOrder.Uint64(b[:])
+	t.GetBulk(t.w64[:], r)
+	return byteOrder.Uint64(t.w64[:])
 }
 
-// PutUint64 writes element r of an 8-byte-element array.
+// PutUint64 writes element r of an 8-byte-element array. Safe to stage
+// through the shared 8-byte buffer: every PUT path captures the source
+// bytes before the call returns control to the thread.
 func (t *Thread) PutUint64(r Ref, v uint64) {
-	var b [8]byte
-	byteOrder.PutUint64(b[:], v)
-	t.PutBulk(r, b[:])
+	byteOrder.PutUint64(t.w64[:], v)
+	t.PutBulk(r, t.w64[:])
 }
 
 // GetFloat64 reads element r of an 8-byte-element array as a float64.
@@ -181,19 +208,53 @@ func (t *Thread) PutFloat64(r Ref, v float64) {
 	t.PutUint64(r, math.Float64bits(v))
 }
 
+// xferChunkBytes bounds the staging buffer Fill and Copy stream
+// through: big transfers reuse one per-thread scratch buffer of at
+// most this size instead of allocating the whole n*elemSize payload.
+const xferChunkBytes = 64 << 10
+
+// scratch returns the thread's reusable staging buffer, grown to at
+// least n bytes. Safe to reuse across PutBulk calls: every PUT path
+// (eager, rendezvous, RDMA, local) copies or deposits the source bytes
+// before returning.
+func (t *Thread) scratch(n int) []byte {
+	if cap(t.xfer) < n {
+		t.xfer = make([]byte, n)
+	}
+	return t.xfer[:n]
+}
+
 // Fill writes n consecutive elements starting at r with the byte b
 // repeated (upc_memset), splitting at affinity boundaries like the
-// bulk transfers.
+// bulk transfers. The fill streams through a bounded per-thread
+// staging buffer, so a gigabyte memset does not allocate a gigabyte.
 func (t *Thread) Fill(r Ref, n int64, b byte) {
 	if n <= 0 {
 		return
 	}
 	es := int64(r.A.ElemSize())
-	buf := make([]byte, n*es)
+	r.A.check(r.Idx + n - 1)
+	chunk := xferChunkBytes / es
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > n {
+		chunk = n
+	}
+	buf := t.scratch(int(chunk * es))
 	for i := range buf {
 		buf[i] = b
 	}
-	t.PutBulk(r, buf)
+	idx := r.Idx
+	for n > 0 {
+		c := chunk
+		if c > n {
+			c = n
+		}
+		t.PutBulk(Ref{A: r.A, Idx: idx}, buf[:c*es])
+		idx += c
+		n -= c
+	}
 }
 
 // GetBulk reads len(dst) bytes of consecutive elements starting at r
@@ -248,15 +309,34 @@ func (t *Thread) PutBulk(r Ref, src []byte) {
 }
 
 // Copy moves n elements from src to dst (upc_memcpy), staging through
-// the initiator.
+// the initiator in bounded chunks of the thread's reusable scratch
+// buffer (each GetBulk completes before the paired PutBulk captures
+// the bytes, so the buffer can be recycled chunk to chunk).
 func (t *Thread) Copy(dst, src Ref, n int64) {
 	if n <= 0 {
 		return
 	}
+	es := int64(src.A.l.ElemSize)
 	if dst.A.l.ElemSize != src.A.l.ElemSize {
 		panic("core: Copy between arrays of different element sizes")
 	}
-	buf := make([]byte, n*int64(src.A.l.ElemSize))
-	t.GetBulk(buf, src)
-	t.PutBulk(dst, buf)
+	chunk := xferChunkBytes / es
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > n {
+		chunk = n
+	}
+	buf := t.scratch(int(chunk * es))
+	var done int64
+	for n > 0 {
+		c := chunk
+		if c > n {
+			c = n
+		}
+		t.GetBulk(buf[:c*es], Ref{A: src.A, Idx: src.Idx + done})
+		t.PutBulk(Ref{A: dst.A, Idx: dst.Idx + done}, buf[:c*es])
+		done += c
+		n -= c
+	}
 }

@@ -91,6 +91,13 @@ type Fabric struct {
 	messages int64
 	bytes    int64
 	faults   FaultStats
+
+	// Free lists for the per-packet event records (see arrival/txSer):
+	// the wire's two scheduled events per packet — serialization and
+	// delivery — run pre-bound funcs on pooled records instead of
+	// allocating closures, so the fabric adds no per-packet garbage.
+	apool []*arrival
+	spool []*txSer
 }
 
 // New builds a fabric over the given topology and wire model.
@@ -232,9 +239,44 @@ func (f *Fabric) InjectC(src, dst int, size int, class Class, m any, done func(a
 		done(f.deliver(seq, src, dst, size, class, m))
 		return
 	}
-	f.k.After(ser, func() {
-		done(f.deliver(seq, src, dst, size, class, m))
-	})
+	s := f.newTxSer()
+	s.seq, s.src, s.dst, s.size, s.class, s.m, s.done = seq, src, dst, size, class, m, done
+	f.k.After(ser, s.run)
+}
+
+// txSer is a pooled serialization-in-progress record: the event
+// scheduled at injection runs its pre-bound run func, which hands the
+// packet to deliver and invokes the sender's done callback — the
+// closure-free form of InjectC's serialization step.
+type txSer struct {
+	f     *Fabric
+	seq   uint64
+	src   int
+	dst   int
+	size  int
+	class Class
+	m     any
+	done  func(arrive sim.Time)
+	run   func() // pre-bound to this record, built once per record
+}
+
+func (f *Fabric) newTxSer() *txSer {
+	if n := len(f.spool); n > 0 {
+		s := f.spool[n-1]
+		f.spool = f.spool[:n-1]
+		return s
+	}
+	s := &txSer{f: f}
+	s.run = s.fire
+	return s
+}
+
+func (s *txSer) fire() {
+	f := s.f
+	seq, src, dst, size, class, m, done := s.seq, s.src, s.dst, s.size, s.class, s.m, s.done
+	s.m, s.done = nil, nil
+	f.spool = append(f.spool, s)
+	done(f.deliver(seq, src, dst, size, class, m))
 }
 
 // deliver applies any configured hazards to the packet and schedules
@@ -294,33 +336,62 @@ func (f *Fabric) deliver(seq uint64, src, dst, size int, class Class, m any) sim
 	return arrive
 }
 
-// arriveAt schedules one physical arrival of m at dst.
+// arriveAt schedules one physical arrival of m at dst, on a pooled
+// record so a delivery costs no closure allocation. A duplicated
+// packet gets two records (two independent arrival events), exactly
+// like the two closures it used to get.
 func (f *Fabric) arriveAt(at sim.Time, seq uint64, src, dst, size int, class Class, m any) {
-	port := f.ports[dst]
-	if hook := f.hook; hook != nil {
-		f.k.At(at, func() {
-			if f.dropDown(dst) {
-				f.recordCrashDrop(seq, src, dst, class)
-				return
-			}
-			f.recordRecv(seq, src, dst, size, class)
-			hook(dst, class, m)
-		})
+	a := f.newArrival()
+	a.seq, a.src, a.dst, a.size, a.class, a.m = seq, src, dst, size, class, m
+	f.k.At(at, a.run)
+}
+
+// arrival is a pooled in-flight packet delivery record.
+type arrival struct {
+	f     *Fabric
+	seq   uint64
+	src   int
+	dst   int
+	size  int
+	class Class
+	m     any
+	run   func() // pre-bound to this record, built once per record
+}
+
+func (f *Fabric) newArrival() *arrival {
+	if n := len(f.apool); n > 0 {
+		a := f.apool[n-1]
+		f.apool = f.apool[:n-1]
+		return a
+	}
+	a := &arrival{f: f}
+	a.run = a.deliverNow
+	return a
+}
+
+// deliverNow runs at the packet's physical arrival time. The record is
+// recycled before the queue push/hook, so a handler that injects again
+// inline can reuse it.
+func (a *arrival) deliverNow() {
+	f := a.f
+	seq, src, dst, size, class, m := a.seq, a.src, a.dst, a.size, a.class, a.m
+	a.m = nil
+	f.apool = append(f.apool, a)
+	if f.dropDown(dst) {
+		f.recordCrashDrop(seq, src, dst, class)
 		return
 	}
-	f.k.At(at, func() {
-		if f.dropDown(dst) {
-			f.recordCrashDrop(seq, src, dst, class)
-			return
-		}
-		f.recordRecv(seq, src, dst, size, class)
-		switch class {
-		case ClassDMA:
-			port.DMA.Push(m)
-		default:
-			port.AM.Push(m)
-		}
-	})
+	f.recordRecv(seq, src, dst, size, class)
+	if hook := f.hook; hook != nil {
+		hook(dst, class, m)
+		return
+	}
+	switch class {
+	case ClassDMA:
+		f.ports[dst].DMA.Push(m)
+	default:
+		f.ports[dst].AM.Push(m)
+	}
 }
 
 func (f *Fabric) recordRecv(seq uint64, src, dst, size int, class Class) {

@@ -1,19 +1,27 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Completion is a one-shot future: processes Wait on it, and some other
 // process or kernel callback Completes it, waking all waiters at the
 // current virtual time. A Completion may carry an arbitrary value.
 type Completion struct {
-	k         *Kernel
-	name      string
-	waitState string // precomputed park diagnostic ("waiting on <name>")
-	done      bool
-	at        Time
-	val       any
-	waiters   []*Proc
-	thens     []func(v any)
+	k       *Kernel
+	name    string
+	done    bool
+	at      Time
+	val     any
+	bytes   []byte // typed payload lane (CompleteBytes); unboxed []byte
+	waiters []waiter
+	thens   []func(v any)
+
+	ws    string // memoized park diagnostic ("waiting on <name>")
+	wsFor string // name ws was built for; survives Recycle, so pooled
+	// completions cycling through the same constant names never
+	// rebuild the string
 }
 
 // NewCompletion returns an incomplete Completion. The name appears in
@@ -25,13 +33,25 @@ func NewCompletion(k *Kernel, name string) *Completion {
 		c := k.cpool[n-1]
 		k.cpool = k.cpool[:n-1]
 		c.name = name
-		c.waitState = "waiting on " + name
 		c.done = false
 		c.at = 0
 		c.val = nil
+		c.bytes = nil
 		return c
 	}
-	return &Completion{k: k, name: name, waitState: "waiting on " + name}
+	return &Completion{k: k, name: name}
+}
+
+// parkState renders the wait diagnostic lazily: nothing allocates until
+// something actually blocks on the completion, and the result is
+// memoized per name so pooled completions reused under the same
+// constant name pay a pointer-equal string compare, not a concat.
+func (c *Completion) parkState() string {
+	if c.wsFor != c.name {
+		c.ws = "waiting on " + c.name
+		c.wsFor = c.name
+	}
+	return c.ws
 }
 
 // Recycle returns a spent completion to the kernel's pool for reuse by
@@ -41,6 +61,7 @@ func NewCompletion(k *Kernel, name string) *Completion {
 // the simulation. Purely an allocation optimization — never required.
 func (k *Kernel) Recycle(c *Completion) {
 	c.val = nil
+	c.bytes = nil
 	c.waiters = c.waiters[:0]
 	c.thens = c.thens[:0]
 	k.cpool = append(k.cpool, c)
@@ -50,8 +71,21 @@ func (k *Kernel) Recycle(c *Completion) {
 func (c *Completion) Done() bool { return c.done }
 
 // Value returns the value passed to Complete, or nil if incomplete or
-// completed with no value.
+// completed with no value (including via CompleteBytes).
 func (c *Completion) Value() any { return c.val }
+
+// Bytes returns the payload passed to CompleteBytes, or nil.
+func (c *Completion) Bytes() []byte { return c.bytes }
+
+// CompleteBytes is Complete for a []byte payload, carried in a typed
+// lane instead of the any-valued one: completing a hot data-bearing
+// operation does not box the slice header per op. Value() stays nil;
+// consumers read Bytes(). Waiters, Thens and event behavior are
+// identical to Complete(nil).
+func (c *Completion) CompleteBytes(data []byte) {
+	c.bytes = data
+	c.Complete(nil)
+}
 
 // CompletedAt returns the virtual time of completion (valid once Done).
 func (c *Completion) CompletedAt() Time { return c.at }
@@ -68,8 +102,8 @@ func (c *Completion) Complete(v any) {
 	c.done = true
 	c.val = v
 	c.at = c.k.now
-	for _, p := range c.waiters {
-		c.k.schedule(c.k.now, p, nil)
+	for _, w := range c.waiters {
+		c.k.wake(w)
 	}
 	c.waiters = c.waiters[:0]
 	if len(c.thens) > 0 {
@@ -81,11 +115,50 @@ func (c *Completion) Complete(v any) {
 	}
 }
 
+// WaitC blocks a continuation-mode thread until the completion
+// completes, then runs fn with the completed value. The continuation
+// twin of Proc.Wait, with the same event cost: an already-done
+// completion continues inline (zero events), otherwise the wake is one
+// scheduled event, exactly like resuming a parked process.
+func (c *Completion) WaitC(ct *Cont, fn func(v any)) {
+	if c.done {
+		fn(c.val)
+		return
+	}
+	ct.block(c.parkState())
+	c.waiters = append(c.waiters, waiter{fn: func() {
+		ct.unblock()
+		fn(c.val)
+	}})
+}
+
+// WaitFn is the zero-alloc form of WaitC for pre-bound callbacks: fn
+// is stored as the waiter directly — no wrapper closure — so a pooled
+// state machine whose step func was built once can wait without
+// allocating. fn reads the completed value via Value itself, and the
+// continuation's diagnostic state is not reset when it runs (stale
+// state on a running continuation is harmless; diagnostics only
+// inspect blocked ones). Event cost is identical to WaitC: inline when
+// done, one wake event otherwise.
+func (c *Completion) WaitFn(ct *Cont, fn func()) {
+	if c.done {
+		fn()
+		return
+	}
+	ct.block(c.parkState())
+	c.waiters = append(c.waiters, waiter{fn: fn})
+}
+
 // Then registers fn to run once the completion completes. fn executes
 // in kernel context at completion time, inline from Complete (or
 // immediately, if the completion is already done): it must not block
 // (no Sleep/Wait/Acquire), but may schedule events, complete other
 // completions, and push to queues.
+//
+// Then is NOT the way a continuation-mode thread waits — Then runs
+// inline at Complete time while a waiter (Wait/WaitC) runs one
+// scheduled event later; mixing them up reorders the event stream
+// between execution modes. Use WaitC to block a Cont.
 func (c *Completion) Then(fn func(v any)) {
 	if c.done {
 		fn(c.val)
@@ -104,17 +177,40 @@ func (c *Completion) CompleteAfter(d Duration, v any) {
 // times, and waiters proceed when the count reaches zero. It is used
 // for fence semantics (wait for all outstanding PUT acknowledgements).
 type Counter struct {
-	k         *Kernel
-	name      string
-	waitState string
-	pending   int
-	waiters   []*Proc
+	k          *Kernel
+	namePrefix string
+	nameIdx    int    // -1: namePrefix is the full name
+	ws         string // memoized park diagnostic, built on first wait
+	pending    int
+	waiters    []waiter
 }
 
 // NewCounter returns a counter expecting n arrivals. n may be zero, in
 // which case Wait returns immediately.
 func NewCounter(k *Kernel, name string, n int) *Counter {
-	return &Counter{k: k, name: name, waitState: "waiting on counter " + name, pending: n}
+	return &Counter{k: k, namePrefix: name, nameIdx: -1, pending: n}
+}
+
+// NewCounterIdx is NewCounter with an index-derived name (prefix +
+// idx), rendered only when diagnostics ask for it — per-thread fence
+// counters at 128k threads allocate no name strings.
+func NewCounterIdx(k *Kernel, prefix string, idx int, n int) *Counter {
+	return &Counter{k: k, namePrefix: prefix, nameIdx: idx, pending: n}
+}
+
+// Name returns the counter's name, rendered on demand.
+func (c *Counter) Name() string {
+	if c.nameIdx < 0 {
+		return c.namePrefix
+	}
+	return c.namePrefix + strconv.Itoa(c.nameIdx)
+}
+
+func (c *Counter) parkState() string {
+	if c.ws == "" {
+		c.ws = "waiting on counter " + c.Name()
+	}
+	return c.ws
 }
 
 // Add registers n more expected arrivals.
@@ -126,12 +222,12 @@ func (c *Counter) Pending() int { return c.pending }
 // Arrive records one arrival, waking waiters if the count hits zero.
 func (c *Counter) Arrive() {
 	if c.pending <= 0 {
-		panic(fmt.Sprintf("sim: counter %q arrived below zero", c.name))
+		panic(fmt.Sprintf("sim: counter %q arrived below zero", c.Name()))
 	}
 	c.pending--
 	if c.pending == 0 {
-		for _, p := range c.waiters {
-			c.k.schedule(c.k.now, p, nil)
+		for _, w := range c.waiters {
+			c.k.wake(w)
 		}
 		c.waiters = c.waiters[:0]
 	}
@@ -140,7 +236,24 @@ func (c *Counter) Arrive() {
 // Wait blocks p until the counter reaches zero.
 func (c *Counter) Wait(p *Proc) {
 	for c.pending > 0 {
-		c.waiters = append(c.waiters, p)
-		p.park(c.waitState)
+		c.waiters = append(c.waiters, waiter{p: p})
+		p.park(c.parkState())
 	}
+}
+
+// WaitC blocks a continuation-mode thread until the counter reaches
+// zero, then runs fn — the continuation twin of Wait, including the
+// recheck: if new arrivals were registered between the wake being
+// scheduled and running, the continuation re-registers (at no extra
+// event cost), exactly like the blocking loop re-parking.
+func (c *Counter) WaitC(ct *Cont, fn func()) {
+	if c.pending == 0 {
+		fn()
+		return
+	}
+	ct.block(c.parkState())
+	c.waiters = append(c.waiters, waiter{fn: func() {
+		ct.unblock()
+		c.WaitC(ct, fn)
+	}})
 }

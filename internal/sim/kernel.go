@@ -126,6 +126,7 @@ type Kernel struct {
 	parked chan parkMsg
 
 	procs   map[*Proc]struct{} // live (spawned, not finished) processes
+	conts   map[*Cont]struct{} // live continuation-mode threads (see cont.go)
 	procSeq uint64             // spawn-order counter (deterministic shutdown)
 	stopped bool
 	limit   Time  // 0 = no limit
@@ -195,25 +196,33 @@ func (k *Kernel) AfterTimer(d Duration, fn func()) *Timer {
 // it to start at the current time. It may be called before Run or from
 // any process or callback during the run.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
-	return k.spawn(name, body, false)
+	return k.spawn(name, -1, body, false)
+}
+
+// SpawnIdx is Spawn with an index-derived name (prefix + idx, rendered
+// only when diagnostics ask for it), so spawning 128k threads performs
+// no name formatting or string allocation.
+func (k *Kernel) SpawnIdx(prefix string, idx int, body func(p *Proc)) *Proc {
+	return k.spawn(prefix, idx, body, false)
 }
 
 // SpawnDaemon creates a service process (a dispatcher loop) that is
 // expected to block forever: it does not keep Run alive and is ignored
 // by deadlock detection. Run returns cleanly once only daemons remain.
 func (k *Kernel) SpawnDaemon(name string, body func(p *Proc)) *Proc {
-	return k.spawn(name, body, true)
+	return k.spawn(name, -1, body, true)
 }
 
-func (k *Kernel) spawn(name string, body func(p *Proc), daemon bool) *Proc {
+func (k *Kernel) spawn(prefix string, idx int, body func(p *Proc), daemon bool) *Proc {
 	k.procSeq++
 	p := &Proc{
-		k:      k,
-		name:   name,
-		seq:    k.procSeq,
-		resume: make(chan struct{}),
-		state:  "starting",
-		daemon: daemon,
+		k:          k,
+		namePrefix: prefix,
+		nameIdx:    idx,
+		seq:        k.procSeq,
+		resume:     make(chan struct{}),
+		state:      "starting",
+		daemon:     daemon,
 	}
 	k.procs[p] = struct{}{}
 	go func() {
@@ -258,6 +267,9 @@ func (k *Kernel) Run() error {
 			k.heap.popEv()
 		}
 		if k.heap.Len() == 0 {
+			if len(k.conts) > 0 {
+				return k.deadlock()
+			}
 			for p := range k.procs {
 				if !p.daemon {
 					return k.deadlock()
@@ -299,7 +311,7 @@ func (k *Kernel) Run() error {
 			delete(k.procs, msg.p)
 		}
 		if msg.panicVal != nil {
-			panic(fmt.Sprintf("sim: process %q panicked at %v: %v", msg.p.name, k.now, msg.panicVal))
+			panic(fmt.Sprintf("sim: process %q panicked at %v: %v", msg.p.Name(), k.now, msg.panicVal))
 		}
 	}
 	return nil
@@ -313,6 +325,10 @@ func (k *Kernel) Run() error {
 // the parked goroutines forever. The kernel must not be used again
 // afterwards.
 func (k *Kernel) Shutdown() {
+	for c := range k.conts { // continuations hold no goroutines: just drop them
+		c.finished = true
+	}
+	k.conts = nil
 	if len(k.procs) == 0 {
 		k.heap.ev = nil
 		return
@@ -333,7 +349,7 @@ func (k *Kernel) Shutdown() {
 				delete(k.procs, msg.p)
 			}
 			if msg.panicVal != nil {
-				panic(fmt.Sprintf("sim: process %q panicked during shutdown: %v", msg.p.name, msg.panicVal))
+				panic(fmt.Sprintf("sim: process %q panicked during shutdown: %v", msg.p.Name(), msg.panicVal))
 			}
 			if msg.finished && msg.p == p {
 				break
@@ -382,8 +398,12 @@ func (k *Kernel) deadlock() error {
 		if p.daemon {
 			continue
 		}
-		blocked = append(blocked, p.name+": "+p.state)
-		procs = append(procs, BlockedProc{Name: p.name, State: p.state, Since: p.since})
+		blocked = append(blocked, p.Name()+": "+p.state)
+		procs = append(procs, BlockedProc{Name: p.Name(), State: p.state, Since: p.since})
+	}
+	for c := range k.conts {
+		blocked = append(blocked, c.Name()+": "+c.state)
+		procs = append(procs, BlockedProc{Name: c.Name(), State: c.state, Since: c.since})
 	}
 	sort.Strings(blocked)
 	sort.Slice(procs, func(i, j int) bool {

@@ -1,21 +1,31 @@
 package sim
 
+import "strconv"
+
 // Proc is a simulated process: a goroutine that runs under the
 // kernel's strict one-at-a-time handoff discipline. A Proc's methods
 // may only be called from its own body.
 type Proc struct {
-	k        *Kernel
-	name     string
-	seq      uint64 // spawn order; fixes Shutdown's kill order
-	resume   chan struct{}
-	state    string // diagnostic: what the process is blocked on
-	since    Time   // virtual time the process last parked
-	daemon   bool   // service loop; ignored by deadlock detection
-	poisoned bool   // Shutdown in progress: unwind instead of running
+	k          *Kernel
+	namePrefix string
+	nameIdx    int    // -1: namePrefix is the full name
+	seq        uint64 // spawn order; fixes Shutdown's kill order
+	resume     chan struct{}
+	state      string // diagnostic: what the process is blocked on
+	since      Time   // virtual time the process last parked
+	daemon     bool   // service loop; ignored by deadlock detection
+	poisoned   bool   // Shutdown in progress: unwind instead of running
 }
 
-// Name returns the process name given at Spawn time.
-func (p *Proc) Name() string { return p.name }
+// Name returns the process name, rendered on demand: names only exist
+// for diagnostics (deadlock reports, panic attribution), so mass
+// spawns with SpawnIdx never pay for formatting them.
+func (p *Proc) Name() string {
+	if p.nameIdx < 0 {
+		return p.namePrefix
+	}
+	return p.namePrefix + strconv.Itoa(p.nameIdx)
+}
 
 // Kernel returns the kernel the process runs under.
 func (p *Proc) Kernel() *Kernel { return p.k }
@@ -63,8 +73,8 @@ func (p *Proc) Wait(c *Completion) {
 	if c.done {
 		return
 	}
-	c.waiters = append(c.waiters, p)
-	p.park(c.waitState)
+	c.waiters = append(c.waiters, waiter{p: p})
+	p.park(c.parkState())
 }
 
 // WaitAll blocks until every completion in cs is complete.

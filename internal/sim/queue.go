@@ -11,8 +11,8 @@ type Queue[T any] struct {
 	popState string // precomputed park diagnostic
 	items    []T    // live window is items[head:]
 	head     int
-	waiters  []*Proc // processes parked in Pop
-	notify   func()  // callback consumer hook, invoked after each Push
+	waiters  []waiter // consumers parked in Pop/PopC
+	notify   func()   // callback consumer hook, invoked after each Push
 	pushes   int64
 	maxLen   int
 }
@@ -48,10 +48,11 @@ func (q *Queue[T]) Push(v T) {
 		q.maxLen = n
 	}
 	if len(q.waiters) > 0 {
-		p := q.waiters[0]
+		w := q.waiters[0]
 		n := copy(q.waiters, q.waiters[1:])
+		q.waiters[n] = waiter{} // release for GC
 		q.waiters = q.waiters[:n]
-		q.k.schedule(q.k.now, p, nil)
+		q.k.wake(w)
 	}
 	if q.notify != nil {
 		q.notify()
@@ -83,10 +84,27 @@ func (q *Queue[T]) take() T {
 // available.
 func (q *Queue[T]) Pop(p *Proc) T {
 	for q.Len() == 0 {
-		q.waiters = append(q.waiters, p)
+		q.waiters = append(q.waiters, waiter{p: p})
 		p.park(q.popState)
 	}
 	return q.take()
+}
+
+// PopC removes the oldest item and passes it to fn, blocking a
+// continuation-mode thread until one is available — the continuation
+// twin of Pop, including the re-check after a wake: if another
+// consumer drained the queue first, the continuation re-registers,
+// exactly like the blocking loop re-parking.
+func (q *Queue[T]) PopC(ct *Cont, fn func(v T)) {
+	if q.Len() > 0 {
+		fn(q.take())
+		return
+	}
+	ct.block(q.popState)
+	q.waiters = append(q.waiters, waiter{fn: func() {
+		ct.unblock()
+		q.PopC(ct, fn)
+	}})
 }
 
 // TryPop removes and returns the oldest item without blocking.

@@ -101,6 +101,37 @@ func (r *Resource) AcquireC(fn func()) {
 	r.pushWaiter(resWaiter{fn: fn, since: r.k.now})
 }
 
+// AcquireCont blocks a continuation-mode thread until a slot is
+// available, then runs fn holding it — the continuation twin of
+// Acquire, with the same event cost (inline grant when free, one
+// kernel event when queued behind a Release) and the same FIFO
+// ordering and wait-time accounting. The slot is held until a matching
+// Release, which may come from a later continuation step.
+func (r *Resource) AcquireCont(ct *Cont, fn func()) {
+	r.acquires++
+	if r.inUse < r.capacity && r.queueLen() == 0 {
+		r.accumulate()
+		r.inUse++
+		fn()
+		return
+	}
+	// fn is queued directly — no unblock wrapper; the stale state
+	// string is harmless (diagnostics only inspect blocked conts).
+	ct.block(r.parkState)
+	r.pushWaiter(resWaiter{fn: fn, since: r.k.now})
+}
+
+// UseCont acquires a slot, holds it for service time d, releases it,
+// and continues with then — the continuation twin of Use.
+func (r *Resource) UseCont(ct *Cont, d Duration, then func()) {
+	r.AcquireCont(ct, func() {
+		ct.Sleep(d, func() {
+			r.Release()
+			then()
+		})
+	})
+}
+
 // TryAcquire takes a slot if one is free, reporting whether it did.
 func (r *Resource) TryAcquire() bool {
 	if r.inUse < r.capacity && r.queueLen() == 0 {

@@ -357,7 +357,10 @@ func (m *Machine) SendAMCoalesced(p *sim.Proc, src, dst int, id HandlerID, meta 
 	}
 	m.amCount++
 	sub := c.cfg.SubHeaderBytes + len(payload) + extra
-	msg := &Msg{Src: src, Dst: dst, Handler: id, Meta: meta, Payload: payload, wire: sub, Span: span}
+	msg := m.newMsg()
+	msg.Src, msg.Dst, msg.Handler, msg.Meta, msg.Payload = src, dst, id, meta, payload
+	msg.wire = sub
+	msg.Span = span
 	c.append(p, coalKey{src: src, dst: dst, class: fabric.ClassAM}, msg, sub, span)
 }
 
@@ -375,7 +378,10 @@ func (m *Machine) ReplyToSpan(p *sim.Proc, req *Msg, id HandlerID, meta any, pay
 	b := req.reply
 	m.amCount++
 	sub := c.cfg.SubHeaderBytes + len(payload) + extra
-	msg := &Msg{Src: b.key.src, Dst: b.key.dst, Handler: id, Meta: meta, Payload: payload, wire: sub, Span: span}
+	msg := m.newMsg()
+	msg.Src, msg.Dst, msg.Handler, msg.Meta, msg.Payload = b.key.src, b.key.dst, id, meta, payload
+	msg.wire = sub
+	msg.Span = span
 	// No timer on reply buffers: the dispatcher flushes when the batch
 	// is fully served, so replies never linger.
 	p.Sleep(c.cfg.AppendCost)
@@ -420,6 +426,11 @@ func (m *Machine) serveBatch(p *sim.Proc, nd *Node, b *batchMsg) {
 		msg.sent, msg.arrived = b.sent, b.arrived
 		h(p, nd, msg)
 		msg.reply = nil
+		if msg.retained {
+			msg.retained = false // will recycle after redelivery
+		} else {
+			m.freeMsg(msg)
+		}
 	}
 	if len(reply.ops) > 0 {
 		c.flush(p, reply, "sync")

@@ -1,0 +1,477 @@
+package transport
+
+import (
+	"sort"
+
+	"xlupc/internal/fabric"
+	"xlupc/internal/mem"
+	"xlupc/internal/sim"
+	"xlupc/internal/telemetry"
+)
+
+// Continuation-mode twins of the transport's blocking send paths.
+// Each mirrors its blocking counterpart step for step — same sleeps,
+// same TX arbitration, same injection and accounting order — so a run
+// executed in continuation mode produces the same kernel event stream
+// (and therefore bit-identical RunStats) as the goroutine-mode run.
+// When editing one side, edit the other.
+
+// amSendOp is the pooled state machine behind SendAMSpanC — the same
+// pattern as rdmaGetOp below: fields live in a pooled record and each
+// asynchronous step is a func bound once at construction, so sending
+// an AM from a continuation-mode thread builds no closures. The record
+// holds no injected object at rest (it is freed in finish, while the
+// Msg lives on in the fabric), so it is safe to pool even under the
+// reliable layer.
+type amSendOp struct {
+	m    *Machine
+	ct   *sim.Cont
+	src  int
+	dst  int
+	msg  *Msg
+	span *telemetry.Span
+	t0   sim.Time
+	then func()
+	tx   *sim.Resource
+
+	sleepFn  func()
+	injectFn func()
+	finishFn func(arrive sim.Time)
+}
+
+func (m *Machine) newAMSendOp() *amSendOp {
+	if n := len(m.pool.ams); n > 0 {
+		o := m.pool.ams[n-1]
+		m.pool.ams = m.pool.ams[:n-1]
+		return o
+	}
+	o := &amSendOp{m: m}
+	o.sleepFn = o.afterSleep
+	o.injectFn = o.inject
+	o.finishFn = o.finish
+	return o
+}
+
+func (o *amSendOp) afterSleep() {
+	o.tx = o.m.Fab.Port(o.src).TX
+	o.tx.AcquireCont(o.ct, o.injectFn)
+}
+
+func (o *amSendOp) inject() {
+	m := o.m
+	if m.rel != nil {
+		m.rel.injectC(o.src, o.dst, o.msg.wire, fabric.ClassAM, o.msg, o.span, o.finishFn)
+		return
+	}
+	m.Fab.InjectC(o.src, o.dst, o.msg.wire, fabric.ClassAM, o.msg, o.finishFn)
+}
+
+func (o *amSendOp) finish(arrive sim.Time) {
+	m := o.m
+	o.msg.arrived = arrive
+	o.tx.Release()
+	o.msg.sent = m.K.Now()
+	o.span.Phase(telemetry.PhaseSend, o.t0, o.msg.sent)
+	then := o.then
+	o.ct, o.msg, o.span, o.then, o.tx = nil, nil, nil, nil, nil
+	m.pool.ams = append(m.pool.ams, o)
+	then()
+}
+
+// SendAMSpanC is SendAMSpan for a continuation-mode thread: then runs
+// once the message is on the wire.
+func (m *Machine) SendAMSpanC(ct *sim.Cont, src, dst int, id HandlerID, meta any, payload []byte, extra int, span *telemetry.Span, then func()) {
+	if src == dst {
+		panic("transport: AM to self; intra-node traffic must use shared memory")
+	}
+	m.amCount++
+	msg := m.newMsg()
+	msg.Src, msg.Dst, msg.Handler, msg.Meta, msg.Payload = src, dst, id, meta, payload
+	msg.wire = m.Prof.AMHeaderBytes + len(payload) + extra
+	msg.Span = span
+	o := m.newAMSendOp()
+	o.ct, o.src, o.dst, o.msg, o.span, o.then = ct, src, dst, msg, span, then
+	o.t0 = m.K.Now()
+	ct.Sleep(m.Prof.SendOverhead, o.sleepFn)
+}
+
+// rdmaGetOp is the pooled state machine behind RDMAGetSpanC: the
+// operation's fields live here and each asynchronous step is a func
+// bound once, when the record is first built — so the hot cached-GET
+// path allocates nothing per operation. A thread has at most one
+// blocking RDMA read in flight, but records are pooled per machine
+// because many threads overlap.
+type rdmaGetOp struct {
+	m      *Machine
+	ct     *sim.Cont
+	src    int
+	dst    int
+	base   mem.Addr
+	raddr  mem.Addr
+	size   int
+	dstBuf []byte // posted receive buffer (see dmaGet.dst)
+	epoch  uint32
+	span   *telemetry.Span
+	then   func(data []byte, nack Nack, ok bool)
+
+	done    *sim.Completion
+	tx      *sim.Resource
+	op      *dmaGet
+	t0, lat sim.Time
+
+	acquireFn func()
+	injectFn  func()
+	finishFn  func(arrive sim.Time)
+	wokeFn    func()
+	latFn     func()
+}
+
+func (m *Machine) newRDMAGetOp() *rdmaGetOp {
+	if n := len(m.pool.rgets); n > 0 {
+		g := m.pool.rgets[n-1]
+		m.pool.rgets = m.pool.rgets[:n-1]
+		return g
+	}
+	g := &rdmaGetOp{m: m}
+	g.acquireFn = g.acquire
+	g.injectFn = g.inject
+	g.finishFn = g.finish
+	g.wokeFn = g.woke
+	g.latFn = g.afterLatency
+	return g
+}
+
+// RDMAGetSpanC is RDMAGetSpan for a continuation-mode thread: then
+// runs with the data once the read completes (after the RDMA-mode
+// extra latency), or with the Nack and ok=false when the target
+// refused. The step sequence — setup sleep, TX acquisition, injection,
+// completion wait, extra latency — mirrors the blocking twin exactly.
+func (m *Machine) RDMAGetSpanC(ct *sim.Cont, src, dst int, base, raddr mem.Addr, into []byte, size int, epoch uint32, span *telemetry.Span, then func(data []byte, nack Nack, ok bool)) {
+	m.rdmaCount++
+	g := m.newRDMAGetOp()
+	g.ct, g.src, g.dst, g.base, g.raddr, g.size, g.dstBuf, g.epoch, g.span, g.then = ct, src, dst, base, raddr, size, into, epoch, span, then
+	g.done = sim.NewCompletion(m.K, "rdma-get")
+	g.t0 = m.K.Now()
+	ct.Sleep(m.Prof.RDMASetup, g.acquireFn)
+}
+
+func (g *rdmaGetOp) acquire() {
+	g.tx = g.m.Fab.Port(g.src).TX
+	g.tx.AcquireCont(g.ct, g.injectFn)
+}
+
+func (g *rdmaGetOp) inject() {
+	m := g.m
+	op := m.newDMAGet()
+	*op = dmaGet{initiator: g.src, base: g.base, raddr: g.raddr, size: g.size, dst: g.dstBuf, epoch: g.epoch, done: g.done, span: g.span}
+	g.op = op
+	if m.rel != nil {
+		m.rel.injectC(g.src, g.dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op, g.span, g.finishFn)
+		return
+	}
+	m.Fab.InjectC(g.src, g.dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op, g.finishFn)
+}
+
+func (g *rdmaGetOp) finish(arrive sim.Time) {
+	g.op.arrived = arrive
+	g.tx.Release()
+	g.op.sent = g.m.K.Now()
+	g.span.Phase(telemetry.PhaseRDMASetup, g.t0, g.op.sent)
+	g.op = nil // the engine owns (and frees) the descriptor from here
+	g.done.WaitFn(g.ct, g.wokeFn)
+}
+
+func (g *rdmaGetOp) woke() {
+	g.lat = g.m.K.Now()
+	g.ct.Sleep(g.m.Prof.RDMAExtraLatency, g.latFn)
+}
+
+func (g *rdmaGetOp) afterLatency() {
+	m := g.m
+	g.span.Phase(telemetry.PhaseRDMALatency, g.lat, m.K.Now())
+	val := g.done.Value()
+	data := g.done.Bytes()
+	m.K.Recycle(g.done)
+	then := g.then
+	g.ct, g.span, g.then, g.done, g.tx, g.dstBuf = nil, nil, nil, nil, nil, nil
+	m.pool.rgets = append(m.pool.rgets, g)
+	if nk, isNack := val.(Nack); isNack {
+		m.noteNack("get")
+		then(nil, nk, false)
+		return
+	}
+	then(data, Nack{}, true)
+}
+
+// rdmaPutOp is the pooled state machine behind RDMAPutSpanC.
+type rdmaPutOp struct {
+	m     *Machine
+	ct    *sim.Cont
+	src   int
+	dst   int
+	base  mem.Addr
+	raddr mem.Addr
+	data  []byte
+	epoch uint32
+	span  *telemetry.Span
+	then  func(done *sim.Completion)
+
+	done    *sim.Completion
+	tx      *sim.Resource
+	op      *dmaPut
+	t0, lat sim.Time
+
+	acquireFn func()
+	injectFn  func()
+	finishFn  func(arrive sim.Time)
+	latFn     func()
+}
+
+func (m *Machine) newRDMAPutOp() *rdmaPutOp {
+	if n := len(m.pool.rputs); n > 0 {
+		g := m.pool.rputs[n-1]
+		m.pool.rputs = m.pool.rputs[:n-1]
+		return g
+	}
+	g := &rdmaPutOp{m: m}
+	g.acquireFn = g.acquire
+	g.injectFn = g.inject
+	g.finishFn = g.finish
+	g.latFn = g.afterLatency
+	return g
+}
+
+// RDMAPutSpanC is RDMAPutSpan for a continuation-mode thread: then
+// runs once the origin buffer is reusable, with the completion that
+// fires when the data is visible in target memory.
+func (m *Machine) RDMAPutSpanC(ct *sim.Cont, src, dst int, base, raddr mem.Addr, data []byte, epoch uint32, span *telemetry.Span, then func(done *sim.Completion)) {
+	m.rdmaCount++
+	g := m.newRDMAPutOp()
+	g.ct, g.src, g.dst, g.base, g.raddr, g.data, g.epoch, g.span, g.then = ct, src, dst, base, raddr, data, epoch, span, then
+	g.done = sim.NewCompletion(m.K, "rdma-put")
+	g.t0 = m.K.Now()
+	ct.Sleep(m.Prof.RDMASetup, g.acquireFn)
+}
+
+func (g *rdmaPutOp) acquire() {
+	g.tx = g.m.Fab.Port(g.src).TX
+	g.tx.AcquireCont(g.ct, g.injectFn)
+}
+
+func (g *rdmaPutOp) inject() {
+	m := g.m
+	op := m.newDMAPut()
+	*op = dmaPut{initiator: g.src, base: g.base, raddr: g.raddr, data: g.data, epoch: g.epoch, done: g.done, span: g.span}
+	g.op = op
+	if m.rel != nil {
+		m.rel.injectC(g.src, g.dst, m.Prof.RDMADescBytes+len(g.data), fabric.ClassDMA, op, g.span, g.finishFn)
+		return
+	}
+	m.Fab.InjectC(g.src, g.dst, m.Prof.RDMADescBytes+len(g.data), fabric.ClassDMA, op, g.finishFn)
+}
+
+func (g *rdmaPutOp) finish(arrive sim.Time) {
+	g.op.arrived = arrive
+	g.tx.Release()
+	g.op.sent = g.m.K.Now()
+	g.span.Phase(telemetry.PhaseRDMASetup, g.t0, g.op.sent)
+	g.op = nil // the engine owns (and frees) the descriptor from here
+	g.lat = g.m.K.Now()
+	g.ct.Sleep(g.m.Prof.RDMAExtraLatency, g.latFn)
+}
+
+func (g *rdmaPutOp) afterLatency() {
+	m := g.m
+	g.span.Phase(telemetry.PhaseRDMALatency, g.lat, m.K.Now())
+	done, then := g.done, g.then
+	g.ct, g.span, g.then, g.done, g.tx, g.data = nil, nil, nil, nil, nil, nil
+	m.pool.rputs = append(m.pool.rputs, g)
+	then(done)
+}
+
+// RDMAGetStartC is RDMAGetStart for a continuation-mode thread: then
+// runs once the descriptor is injected (or parked in the doorbell
+// batch) with the completion that fires with []byte or Nack.
+func (m *Machine) RDMAGetStartC(ct *sim.Cont, src, dst int, base, raddr mem.Addr, into []byte, size int, epoch uint32, span *telemetry.Span, then func(res *sim.Completion)) {
+	m.rdmaCount++
+	done := sim.NewCompletion(m.K, "rdma-get")
+	res := m.nbResult(done, "get", span)
+	op := m.newDMAGet()
+	*op = dmaGet{initiator: src, base: base, raddr: raddr, size: size, dst: into, epoch: epoch, done: done, span: span}
+	if c := m.coal; c != nil {
+		c.appendCont(ct, coalKey{src: src, dst: dst, class: fabric.ClassDMA}, op, m.Prof.RDMADescBytes, span, func() {
+			then(res)
+		})
+		return
+	}
+	t0 := m.K.Now()
+	ct.Sleep(m.Prof.RDMASetup, func() {
+		tx := m.Fab.Port(src).TX
+		tx.AcquireCont(ct, func() {
+			finish := func(arrive sim.Time) {
+				op.arrived = arrive
+				tx.Release()
+				op.sent = m.K.Now()
+				span.Phase(telemetry.PhaseRDMASetup, t0, op.sent)
+				then(res)
+			}
+			if m.rel != nil {
+				m.rel.injectC(src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op, span, finish)
+				return
+			}
+			m.Fab.InjectC(src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op, finish)
+		})
+	})
+}
+
+// RDMAPutStartC is RDMAPutStart for a continuation-mode thread: then
+// runs once the descriptor (and payload) is injected or parked in the
+// doorbell batch, with the completion fences wait on.
+func (m *Machine) RDMAPutStartC(ct *sim.Cont, src, dst int, base, raddr mem.Addr, data []byte, epoch uint32, span *telemetry.Span, then func(done *sim.Completion)) {
+	m.rdmaCount++
+	done := sim.NewCompletion(m.K, "rdma-put")
+	op := m.newDMAPut()
+	*op = dmaPut{initiator: src, base: base, raddr: raddr, data: data, epoch: epoch, done: done, span: span}
+	if c := m.coal; c != nil {
+		c.appendCont(ct, coalKey{src: src, dst: dst, class: fabric.ClassDMA}, op, m.Prof.RDMADescBytes+len(data), span, func() {
+			then(done)
+		})
+		return
+	}
+	t0 := m.K.Now()
+	ct.Sleep(m.Prof.RDMASetup, func() {
+		tx := m.Fab.Port(src).TX
+		tx.AcquireCont(ct, func() {
+			finish := func(arrive sim.Time) {
+				op.arrived = arrive
+				tx.Release()
+				op.sent = m.K.Now()
+				span.Phase(telemetry.PhaseRDMASetup, t0, op.sent)
+				then(done)
+			}
+			if m.rel != nil {
+				m.rel.injectC(src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op, span, finish)
+				return
+			}
+			m.Fab.InjectC(src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op, finish)
+		})
+	})
+}
+
+// appendCont is append for a continuation-mode thread, mirroring the
+// process-context path (including the inline size-trip flush).
+func (c *coalescer) appendCont(ct *sim.Cont, key coalKey, op any, subwire int, span *telemetry.Span, then func()) {
+	if key.src == key.dst {
+		panic("transport: node coalescing to itself")
+	}
+	ct.Sleep(c.cfg.AppendCost, func() {
+		b := c.buf(key)
+		if len(b.ops) == 0 && c.cfg.FlushDelay > 0 {
+			b.timer = c.m.K.AfterTimer(c.cfg.FlushDelay, func() { c.flushC(b) })
+		}
+		b.ops = append(b.ops, op)
+		b.spans = append(b.spans, span)
+		b.queued = append(b.queued, c.m.K.Now())
+		b.bytes += subwire
+		c.stats.Msgs++
+		c.m.Tel.Add("xlupc_coalesce_msgs_total", "", 1)
+		if len(b.ops) >= c.cfg.MaxOps || b.bytes >= c.cfg.MaxBytes {
+			c.flushCont(ct, b, "size", then)
+			return
+		}
+		then()
+	})
+}
+
+// flushCont is flush for a continuation-mode thread — the twin of the
+// process-context flush (one send overhead, one TX acquisition, one
+// serialization), NOT of the timer path flushC, which charges no send
+// overhead.
+func (c *coalescer) flushCont(ct *sim.Cont, b *coalBuf, reason string, then func()) {
+	if !c.take(b) {
+		then()
+		return
+	}
+	c.noteFlush(reason)
+	flushStart := c.m.K.Now()
+	frame, wire := c.frame(b)
+	ct.Sleep(c.m.Prof.SendOverhead, func() {
+		tx := c.m.Fab.Port(b.key.src).TX
+		tx.AcquireCont(ct, func() {
+			finish := func(arrived sim.Time) {
+				tx.Release()
+				sent := c.m.K.Now()
+				b.stamp(frame, flushStart, sent, arrived)
+				phase := telemetry.PhaseSend
+				if b.key.class == fabric.ClassDMA {
+					phase = telemetry.PhaseRDMASetup
+				}
+				for _, span := range b.spans {
+					span.Phase(phase, flushStart, sent)
+				}
+				then()
+			}
+			if rl := c.m.rel; rl != nil {
+				rl.injectC(b.key.src, b.key.dst, wire, b.key.class, frame, nil, finish)
+				return
+			}
+			c.m.Fab.InjectC(b.key.src, b.key.dst, wire, b.key.class, frame, finish)
+		})
+	})
+}
+
+// FlushCoalescedC is FlushCoalesced for a continuation-mode thread:
+// every buffer node src has open flushes in deterministic (dst, class)
+// order, then then runs.
+func (m *Machine) FlushCoalescedC(ct *sim.Cont, src int, then func()) {
+	c := m.coal
+	if c == nil {
+		then()
+		return
+	}
+	var keys []coalKey
+	for k, b := range c.bufs {
+		if k.src == src && len(b.ops) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		then()
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dst != keys[j].dst {
+			return keys[i].dst < keys[j].dst
+		}
+		return keys[i].class < keys[j].class
+	})
+	i := 0
+	sim.Loop(func(next func()) {
+		if i >= len(keys) {
+			then()
+			return
+		}
+		k := keys[i]
+		i++
+		c.flushCont(ct, c.bufs[k], "sync", next)
+	})
+}
+
+// SendAMCoalescedC is SendAMCoalesced for a continuation-mode thread.
+func (m *Machine) SendAMCoalescedC(ct *sim.Cont, src, dst int, id HandlerID, meta any, payload []byte, extra int, span *telemetry.Span, then func()) {
+	c := m.coal
+	if c == nil {
+		m.SendAMSpanC(ct, src, dst, id, meta, payload, extra, span, then)
+		return
+	}
+	if src == dst {
+		panic("transport: AM to self; intra-node traffic must use shared memory")
+	}
+	m.amCount++
+	sub := c.cfg.SubHeaderBytes + len(payload) + extra
+	msg := m.newMsg()
+	msg.Src, msg.Dst, msg.Handler, msg.Meta, msg.Payload = src, dst, id, meta, payload
+	msg.wire = sub
+	msg.Span = span
+	c.appendCont(ct, coalKey{src: src, dst: dst, class: fabric.ClassAM}, msg, sub, span, then)
+}

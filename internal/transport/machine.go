@@ -45,6 +45,10 @@ type Msg struct {
 	// reply buffer while the message is served as part of a batch.
 	Batch *BatchScratch
 	reply *coalBuf
+
+	// retained marks a message requeued by its handler (see Retain);
+	// the dispatcher skips recycling it once, then clears the flag.
+	retained bool
 }
 
 // WireSize reports the message's size on the wire.
@@ -83,6 +87,10 @@ type Machine struct {
 	// FR is the run's flight recorder; nil (the default) disables
 	// recording at the cost of a pointer check per site.
 	FR *flight.Recorder
+
+	// pool holds the descriptor free-lists (see pool.go); active only
+	// while rel is nil.
+	pool pools
 }
 
 // SetFlightRecorder attaches fr to the machine and every layer that
@@ -288,6 +296,11 @@ func (m *Machine) spawnDispatchers(nd *Node) {
 				msg.Span.Phase(telemetry.PhaseRecv, recv, p.Now())
 				h(p, nd, msg)
 				nd.Comm.Release()
+				if msg.retained {
+					msg.retained = false // will recycle after redelivery
+				} else {
+					m.freeMsg(msg)
+				}
 			}
 		})
 	}
@@ -313,8 +326,10 @@ func (m *Machine) SendAMSpan(p *sim.Proc, src, dst int, id HandlerID, meta any, 
 		panic("transport: AM to self; intra-node traffic must use shared memory")
 	}
 	m.amCount++
-	msg := &Msg{Src: src, Dst: dst, Handler: id, Meta: meta, Payload: payload,
-		wire: m.Prof.AMHeaderBytes + len(payload) + extra, Span: span}
+	msg := m.newMsg()
+	msg.Src, msg.Dst, msg.Handler, msg.Meta, msg.Payload = src, dst, id, meta, payload
+	msg.wire = m.Prof.AMHeaderBytes + len(payload) + extra
+	msg.Span = span
 	t0 := p.Now()
 	p.Sleep(m.Prof.SendOverhead)
 	tx := m.Fab.Port(src).TX

@@ -17,8 +17,11 @@ type dmaGet struct {
 	base      mem.Addr // pinned-region base, for the pin-table LRU
 	raddr     mem.Addr
 	size      int
-	epoch     uint32          // target incarnation the initiator believes in
-	done      *sim.Completion // completes at the initiator with []byte
+	dst       []byte // posted receive buffer: the engine deposits the
+	// data here directly (like a real NIC) instead of allocating a
+	// bounce buffer per read; nil falls back to an allocated copy.
+	epoch uint32          // target incarnation the initiator believes in
+	done  *sim.Completion // completes at the initiator with []byte
 
 	span    *telemetry.Span
 	sent    sim.Time // injection time, start of the wire phase
@@ -40,10 +43,13 @@ type dmaPut struct {
 	arrived sim.Time
 }
 
-// dmaResp carries an RDMA completion back to the initiator NIC.
+// dmaResp carries an RDMA completion back to the initiator NIC. Data
+// responses ride the typed data lane (no per-op interface boxing);
+// NACKs use the any-valued one.
 type dmaResp struct {
 	done *sim.Completion
 	val  any
+	data []byte
 
 	span    *telemetry.Span
 	sent    sim.Time
@@ -72,7 +78,7 @@ type Nack struct {
 // target's live epoch, so this convenience form never goes stale —
 // cached-address paths use RDMAGetSpan with the epoch they cached.
 func (m *Machine) RDMAGet(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int) (data []byte, ok bool) {
-	data, _, ok = m.RDMAGetSpan(p, src, dst, base, raddr, size, m.Nodes[dst].Epoch, nil)
+	data, _, ok = m.RDMAGetSpan(p, src, dst, base, raddr, nil, size, m.Nodes[dst].Epoch, nil)
 	return data, ok
 }
 
@@ -82,14 +88,18 @@ func (m *Machine) RDMAGet(p *sim.Proc, src, dst int, base, raddr mem.Addr, size 
 // it phase by phase. On failure the returned Nack tells the caller
 // whether one entry went stale (deregistration) or the whole node did
 // (crash), which decide between a single eviction and a node-wide flush.
-func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int, epoch uint32, span *telemetry.Span) (data []byte, nack Nack, ok bool) {
+// When into is non-nil it is the posted receive buffer (len(into) must
+// equal size): the data lands there with no per-read allocation, and
+// the returned data aliases it.
+func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, into []byte, size int, epoch uint32, span *telemetry.Span) (data []byte, nack Nack, ok bool) {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-get")
 	t0 := p.Now()
 	p.Sleep(m.Prof.RDMASetup)
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
-	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, epoch: epoch, done: done, span: span}
+	op := m.newDMAGet()
+	*op = dmaGet{initiator: src, base: base, raddr: raddr, size: size, dst: into, epoch: epoch, done: done, span: span}
 	if m.rel != nil {
 		op.arrived = m.rel.inject(p, src, dst, m.Prof.RDMADescBytes, fabric.ClassDMA, op, span)
 	} else {
@@ -105,12 +115,13 @@ func (m *Machine) RDMAGetSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, s
 	p.Sleep(m.Prof.RDMAExtraLatency)
 	span.Phase(telemetry.PhaseRDMALatency, lat, p.Now())
 	val := done.Value()
+	data = done.Bytes()
 	m.K.Recycle(done) // fully consumed: no reference survives this call
 	if nk, isNack := val.(Nack); isNack {
 		m.noteNack("get")
 		return nil, nk, false
 	}
-	return val.([]byte), Nack{}, true
+	return data, Nack{}, true
 }
 
 // RDMAPut performs a one-sided write of data to raddr in dst's memory.
@@ -132,7 +143,8 @@ func (m *Machine) RDMAPutSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, d
 	p.Sleep(m.Prof.RDMASetup)
 	tx := m.Fab.Port(src).TX
 	tx.Acquire(p)
-	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, epoch: epoch, done: done, span: span}
+	op := m.newDMAPut()
+	*op = dmaPut{initiator: src, base: base, raddr: raddr, data: data, epoch: epoch, done: done, span: span}
 	if m.rel != nil {
 		op.arrived = m.rel.inject(p, src, dst, m.Prof.RDMADescBytes+len(data), fabric.ClassDMA, op, span)
 	} else {
@@ -152,11 +164,12 @@ func (m *Machine) RDMAPutSpan(p *sim.Proc, src, dst int, base, raddr mem.Addr, d
 // after the transport's RDMA-mode extra latency has elapsed. With
 // coalescing enabled the descriptor joins the (src,dst) doorbell batch
 // instead of paying its own setup, TX arbitration and injection.
-func (m *Machine) RDMAGetStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, size int, epoch uint32, span *telemetry.Span) *sim.Completion {
+func (m *Machine) RDMAGetStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, into []byte, size int, epoch uint32, span *telemetry.Span) *sim.Completion {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-get")
 	res := m.nbResult(done, "get", span)
-	op := &dmaGet{initiator: src, base: base, raddr: raddr, size: size, epoch: epoch, done: done, span: span}
+	op := m.newDMAGet()
+	*op = dmaGet{initiator: src, base: base, raddr: raddr, size: size, dst: into, epoch: epoch, done: done, span: span}
 	if c := m.coal; c != nil {
 		c.append(p, coalKey{src: src, dst: dst, class: fabric.ClassDMA}, op, m.Prof.RDMADescBytes, span)
 		return res
@@ -184,7 +197,8 @@ func (m *Machine) RDMAGetStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, 
 func (m *Machine) RDMAPutStart(p *sim.Proc, src, dst int, base, raddr mem.Addr, data []byte, epoch uint32, span *telemetry.Span) *sim.Completion {
 	m.rdmaCount++
 	done := sim.NewCompletion(m.K, "rdma-put")
-	op := &dmaPut{initiator: src, base: base, raddr: raddr, data: data, epoch: epoch, done: done, span: span}
+	op := m.newDMAPut()
+	*op = dmaPut{initiator: src, base: base, raddr: raddr, data: data, epoch: epoch, done: done, span: span}
 	if c := m.coal; c != nil {
 		c.append(p, coalKey{src: src, dst: dst, class: fabric.ClassDMA}, op, m.Prof.RDMADescBytes+len(data), span)
 		return done
@@ -214,16 +228,25 @@ func (m *Machine) nbResult(done *sim.Completion, opName string, span *telemetry.
 		if _, nack := v.(Nack); nack {
 			m.noteNack(opName)
 		}
+		data := done.Bytes()
 		m.K.Recycle(done)
 		if m.Prof.RDMAExtraLatency > 0 {
 			lat := m.K.Now()
 			m.K.After(m.Prof.RDMAExtraLatency, func() {
 				span.Phase(telemetry.PhaseRDMALatency, lat, m.K.Now())
-				res.Complete(v)
+				if v != nil {
+					res.Complete(v)
+				} else {
+					res.CompleteBytes(data)
+				}
 			})
 			return
 		}
-		res.Complete(v)
+		if v != nil {
+			res.Complete(v)
+		} else {
+			res.CompleteBytes(data)
+		}
 	})
 	return res
 }
@@ -260,10 +283,34 @@ type dmaEngine struct {
 	// pending holds the descriptors of an unpacked doorbell batch; they
 	// are serviced in order before the engine pops the next wire frame.
 	pending []any
+
+	// The engine services one descriptor at a time, so its multi-event
+	// service chains keep their in-flight state here and step through
+	// pre-bound funcs (built once at engine construction) instead of
+	// allocating a closure per event.
+	curGet   *dmaGet
+	curPut   *dmaPut
+	curResp  *dmaResp
+	respDst  int
+	respWire int
+	t0       sim.Time
+
+	serveNextFn  func()
+	serveGetFn   func()
+	servePutFn   func()
+	serveRespFn  func()
+	respDoneFn   func(arrive sim.Time)
+	injectRespFn func()
 }
 
 func (m *Machine) startDMAEngine(nd *Node) {
 	e := &dmaEngine{m: m, nd: nd, port: m.Fab.Port(nd.ID)}
+	e.serveNextFn = e.serveNext
+	e.serveGetFn = e.serveGet2
+	e.servePutFn = e.servePut2
+	e.serveRespFn = e.serveResp2
+	e.respDoneFn = e.respDone
+	e.injectRespFn = e.injectResp
 	e.port.DMA.Notify(e.kick)
 }
 
@@ -276,7 +323,7 @@ func (e *dmaEngine) kick() {
 		return
 	}
 	e.busy = true
-	e.m.K.After(0, e.serveNext)
+	e.m.K.After(0, e.serveNextFn)
 }
 
 // serveNext starts service of the oldest queued descriptor, or idles
@@ -314,105 +361,159 @@ func (e *dmaEngine) serveNext() {
 }
 
 func (e *dmaEngine) serveGet(op *dmaGet) {
-	m, k := e.m, e.m.K
 	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
-	t0 := k.Now()
-	k.After(m.Prof.RDMATargetCost, func() {
-		// Queue residency behind earlier descriptors plus the engine's
-		// service time — all DMA-engine occupancy, no CPU.
-		op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
-		op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
-		if op.epoch != e.nd.Epoch {
-			// The descriptor was built against a previous incarnation:
-			// its address describes the pre-crash layout and must not be
-			// dereferenced. NACK with the current epoch so the initiator
-			// can flush everything it cached for this node.
-			m.noteStale("get")
-			e.recordNack(flight.KindStaleNack, op.initiator, uint64(op.epoch))
-			e.sendResp(op.initiator, m.Prof.RDMADescBytes,
-				&dmaResp{done: op.done, val: Nack{Stale: true, Epoch: e.nd.Epoch}, span: op.span})
-			return
+	e.curGet = op
+	e.t0 = e.m.K.Now()
+	e.m.K.After(e.m.Prof.RDMATargetCost, e.serveGetFn)
+}
+
+// serveGet2 is the post-service-time step of a GET descriptor.
+func (e *dmaEngine) serveGet2() {
+	m, k := e.m, e.m.K
+	op, t0 := e.curGet, e.t0
+	e.curGet = nil
+	// Queue residency behind earlier descriptors plus the engine's
+	// service time — all DMA-engine occupancy, no CPU.
+	op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
+	op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
+	if op.epoch != e.nd.Epoch {
+		// The descriptor was built against a previous incarnation:
+		// its address describes the pre-crash layout and must not be
+		// dereferenced. NACK with the current epoch so the initiator
+		// can flush everything it cached for this node.
+		m.noteStale("get")
+		e.recordNack(flight.KindStaleNack, op.initiator, uint64(op.epoch))
+		resp := m.newDMAResp()
+		*resp = dmaResp{done: op.done, val: Nack{Stale: true, Epoch: e.nd.Epoch}, span: op.span}
+		e.sendResp(op.initiator, m.Prof.RDMADescBytes, resp)
+		m.freeDMAGet(op)
+		return
+	}
+	m.noteRecovered(e.nd.ID)
+	if !e.nd.Pins.TouchOK(op.base, k.Now()) {
+		// A NACK under limited pinning, a crash under pin-everything
+		// (where it can only be a runtime bug: the epoch matched, so
+		// the registration cannot have been lost to a crash).
+		if e.nd.Pins.Policy() != mem.PinLimited {
+			panic(fmt.Sprintf("transport: node %d: RDMA access to unpinned region %#x under pin-all", e.nd.ID, op.base))
 		}
-		m.noteRecovered(e.nd.ID)
-		if !e.nd.Pins.TouchOK(op.base, k.Now()) {
-			// A NACK under limited pinning, a crash under pin-everything
-			// (where it can only be a runtime bug: the epoch matched, so
-			// the registration cannot have been lost to a crash).
-			if e.nd.Pins.Policy() != mem.PinLimited {
-				panic(fmt.Sprintf("transport: node %d: RDMA access to unpinned region %#x under pin-all", e.nd.ID, op.base))
-			}
-			e.recordNack(flight.KindPinNack, op.initiator, uint64(op.base))
-			e.sendResp(op.initiator, m.Prof.RDMADescBytes,
-				&dmaResp{done: op.done, val: Nack{}, span: op.span})
-			return
-		}
-		data := e.nd.Mem.ReadAlloc(op.raddr, op.size)
-		e.sendResp(op.initiator, m.Prof.RDMADescBytes+op.size,
-			&dmaResp{done: op.done, val: data, span: op.span})
-	})
+		e.recordNack(flight.KindPinNack, op.initiator, uint64(op.base))
+		resp := m.newDMAResp()
+		*resp = dmaResp{done: op.done, val: Nack{}, span: op.span}
+		e.sendResp(op.initiator, m.Prof.RDMADescBytes, resp)
+		m.freeDMAGet(op)
+		return
+	}
+	data := op.dst
+	if data != nil {
+		e.nd.Mem.Read(data, op.raddr)
+	} else {
+		data = e.nd.Mem.ReadAlloc(op.raddr, op.size)
+	}
+	resp := m.newDMAResp()
+	*resp = dmaResp{done: op.done, data: data, span: op.span}
+	e.sendResp(op.initiator, m.Prof.RDMADescBytes+op.size, resp)
+	m.freeDMAGet(op)
 }
 
 // sendResp streams an RDMA completion back to the initiator: acquire
 // the node's TX port (FIFO with every other sender on the node), hold
-// it through serialization, then move on to the next descriptor.
+// it through serialization, then move on to the next descriptor. The
+// in-flight response rides the engine's cur fields through the two
+// pre-bound steps (the engine stays busy until the injection finishes,
+// so there is never more than one).
 func (e *dmaEngine) sendResp(dst int, wire int, resp *dmaResp) {
-	tx := e.port.TX
-	finish := func(arrive sim.Time) {
-		resp.arrived = arrive
-		tx.Release()
-		resp.sent = e.m.K.Now()
-		e.serveNext()
+	e.curResp = resp
+	e.respDst = dst
+	e.respWire = wire
+	e.port.TX.AcquireC(e.injectRespFn)
+}
+
+// injectResp runs holding the TX port: hand the response to the wire.
+func (e *dmaEngine) injectResp() {
+	resp := e.curResp
+	if rl := e.m.rel; rl != nil {
+		rl.injectC(e.nd.ID, e.respDst, e.respWire, fabric.ClassDMA, resp, resp.span, e.respDoneFn)
+		return
 	}
-	tx.AcquireC(func() {
-		if rl := e.m.rel; rl != nil {
-			rl.injectC(e.nd.ID, dst, wire, fabric.ClassDMA, resp, resp.span, finish)
-			return
-		}
-		e.m.Fab.InjectC(e.nd.ID, dst, wire, fabric.ClassDMA, resp, finish)
-	})
+	e.m.Fab.InjectC(e.nd.ID, e.respDst, e.respWire, fabric.ClassDMA, resp, e.respDoneFn)
+}
+
+// respDone runs when the response is serialized onto the wire.
+func (e *dmaEngine) respDone(arrive sim.Time) {
+	resp := e.curResp
+	e.curResp = nil
+	resp.arrived = arrive
+	e.port.TX.Release()
+	resp.sent = e.m.K.Now()
+	e.serveNext()
 }
 
 func (e *dmaEngine) servePut(op *dmaPut) {
-	m, k := e.m, e.m.K
 	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
-	t0 := k.Now()
-	k.After(m.Prof.RDMATargetCost, func() {
-		op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
-		op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
-		if op.epoch != e.nd.Epoch {
-			m.noteStale("put")
-			e.recordNack(flight.KindStaleNack, op.initiator, uint64(op.epoch))
-			op.done.Complete(Nack{Stale: true, Epoch: e.nd.Epoch})
-			e.serveNext()
-			return
-		}
-		m.noteRecovered(e.nd.ID)
-		if !e.nd.Pins.TouchOK(op.base, k.Now()) {
-			if e.nd.Pins.Policy() != mem.PinLimited {
-				panic(fmt.Sprintf("transport: node %d: RDMA write to unpinned region %#x under pin-all", e.nd.ID, op.base))
-			}
-			m.noteNack("put")
-			e.recordNack(flight.KindPinNack, op.initiator, uint64(op.base))
-			op.done.Complete(Nack{})
-			e.serveNext()
-			return
-		}
-		e.nd.Mem.Write(op.raddr, op.data)
-		op.done.Complete(nil)
+	e.curPut = op
+	e.t0 = e.m.K.Now()
+	e.m.K.After(e.m.Prof.RDMATargetCost, e.servePutFn)
+}
+
+// servePut2 is the post-service-time step of a PUT descriptor.
+func (e *dmaEngine) servePut2() {
+	m, k := e.m, e.m.K
+	op, t0 := e.curPut, e.t0
+	e.curPut = nil
+	op.span.Phase(telemetry.PhaseDMATarget, op.arrived, t0)
+	op.span.Phase(telemetry.PhaseDMATarget, t0, k.Now())
+	if op.epoch != e.nd.Epoch {
+		m.noteStale("put")
+		e.recordNack(flight.KindStaleNack, op.initiator, uint64(op.epoch))
+		done := op.done
+		m.freeDMAPut(op)
+		done.Complete(Nack{Stale: true, Epoch: e.nd.Epoch})
 		e.serveNext()
-	})
+		return
+	}
+	m.noteRecovered(e.nd.ID)
+	if !e.nd.Pins.TouchOK(op.base, k.Now()) {
+		if e.nd.Pins.Policy() != mem.PinLimited {
+			panic(fmt.Sprintf("transport: node %d: RDMA write to unpinned region %#x under pin-all", e.nd.ID, op.base))
+		}
+		m.noteNack("put")
+		e.recordNack(flight.KindPinNack, op.initiator, uint64(op.base))
+		done := op.done
+		m.freeDMAPut(op)
+		done.Complete(Nack{})
+		e.serveNext()
+		return
+	}
+	e.nd.Mem.Write(op.raddr, op.data)
+	done := op.done
+	m.freeDMAPut(op)
+	done.Complete(nil)
+	e.serveNext()
 }
 
 func (e *dmaEngine) serveResp(op *dmaResp) {
-	m, k := e.m, e.m.K
 	op.span.Phase(telemetry.PhaseWire, op.sent, op.arrived)
-	t0 := k.Now()
-	k.After(m.Prof.RDMARecvCost, func() {
-		// Queue residency at the initiator NIC plus the completion
-		// service itself.
-		op.span.Phase(telemetry.PhaseRDMARecv, op.arrived, t0)
-		op.span.Phase(telemetry.PhaseRDMARecv, t0, k.Now())
-		op.done.Complete(op.val)
-		e.serveNext()
-	})
+	e.curResp = op
+	e.t0 = e.m.K.Now()
+	e.m.K.After(e.m.Prof.RDMARecvCost, e.serveRespFn)
+}
+
+// serveResp2 is the post-receive-cost step of an inbound completion.
+func (e *dmaEngine) serveResp2() {
+	m, k := e.m, e.m.K
+	op, t0 := e.curResp, e.t0
+	e.curResp = nil
+	// Queue residency at the initiator NIC plus the completion
+	// service itself.
+	op.span.Phase(telemetry.PhaseRDMARecv, op.arrived, t0)
+	op.span.Phase(telemetry.PhaseRDMARecv, t0, k.Now())
+	done, val, data := op.done, op.val, op.data
+	m.freeDMAResp(op)
+	if val != nil {
+		done.Complete(val)
+	} else {
+		done.CompleteBytes(data)
+	}
+	e.serveNext()
 }

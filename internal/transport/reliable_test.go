@@ -213,7 +213,7 @@ func TestCrashStaleEpochNackAndRecovery(t *testing.T) {
 		}
 		p.Sleep(backAt - p.Now() + sim.Us) // wait out the restart window
 
-		data, nack, ok := m.RDMAGetSpan(p, 0, 1, base, base, 4, oldEpoch, nil)
+		data, nack, ok := m.RDMAGetSpan(p, 0, 1, base, base, nil, 4, oldEpoch, nil)
 		if ok || data != nil {
 			t.Errorf("stale-epoch GET succeeded: %v", data)
 		}
@@ -228,7 +228,7 @@ func TestCrashStaleEpochNackAndRecovery(t *testing.T) {
 		}
 		k.Recycle(ack)
 
-		data, nack, ok = m.RDMAGetSpan(p, 0, 1, base, base, 4, 1, nil)
+		data, nack, ok = m.RDMAGetSpan(p, 0, 1, base, base, nil, 4, 1, nil)
 		if !ok {
 			t.Errorf("fresh-epoch GET nacked: %+v", nack)
 		} else if string(data) != string([]byte{1, 2, 3, 4}) {
