@@ -31,8 +31,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"strconv"
-	"strings"
 
 	"xlupc/internal/bench"
 	"xlupc/internal/flight"
@@ -41,23 +39,14 @@ import (
 	"xlupc/internal/transport"
 )
 
-// parseRates parses a comma-separated probability list, exiting with
-// status 2 on anything outside [0, 1). NaN slips through plain range
-// comparisons (both are false), so it is rejected explicitly: a NaN
-// rate would silently corrupt every schedule draw.
+// parseRates parses a comma-separated probability list through the
+// shared bench validator, exiting with status 2 on anything outside
+// [0, 1) (NaN included).
 func parseRates(flagName, list string) []float64 {
-	var rates []float64
-	for _, s := range strings.Split(list, ",") {
-		s = strings.TrimSpace(s)
-		if s == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(s, 64)
-		if err != nil || math.IsNaN(v) || v < 0 || v >= 1 {
-			fmt.Fprintf(os.Stderr, "xlupc-chaos: bad %s rate %q (want 0 <= rate < 1)\n", flagName, s)
-			os.Exit(2)
-		}
-		rates = append(rates, v)
+	rates, err := bench.ParseRates(flagName, list)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-chaos: %v\n", err)
+		os.Exit(2)
 	}
 	return rates
 }
@@ -74,9 +63,16 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	flightOn := flag.Bool("flight", false, "attach a flight recorder to every run; a failing run dumps its last events per involved node to stderr (costs no virtual time: sweep figures are unchanged)")
 	flightDump := flag.String("flight-dump", "", "write flight dumps to `path` instead of stderr (implies -flight); a clean sweep writes an on-demand representative capture there instead")
+	execFlag := flag.String("exec", "goroutine", "execution mode: goroutine or cont (figures are bit-identical; host performance differs)")
 	pf := hostprof.Register(nil)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	mode, err := bench.ParseExec(*execFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-chaos: %v\n", err)
+		os.Exit(2)
+	}
+	bench.SetExec(mode)
 
 	var flightW io.Writer = os.Stderr
 	var flightFile *os.File

@@ -28,9 +28,16 @@ func main() {
 	miss := flag.Bool("missoverhead", false, "emit the miss-overhead measurement instead")
 	coalesce := flag.Bool("coalesce", false, "emit the split-phase coalescing batch-size figure instead")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
+	execFlag := flag.String("exec", "goroutine", "execution mode: goroutine or cont (figures are bit-identical; host performance differs)")
 	pf := hostprof.Register(nil)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	mode, err := bench.ParseExec(*execFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xlupc-micro: %v\n", err)
+		os.Exit(2)
+	}
+	bench.SetExec(mode)
 	stopProf := pf.MustStart("xlupc-micro")
 	defer stopProf()
 

@@ -57,26 +57,15 @@ type ChaosPoint struct {
 	DupSuppressed int64
 }
 
-// runChaosMark runs one stressmark under the given fault config and
-// returns its stats, the combined self-verification checksum, and the
-// runtime (for flight-recorder post-mortems).
-func runChaosMark(fn dis.Func, sc Scale, prof *transport.Profile, cc core.CacheConfig, fc *fault.Config, seed int64) (core.RunStats, uint64, *core.Runtime) {
-	rt, err := core.NewRuntime(core.Config{
+// runChaosMark runs one stressmark under the given fault config (in
+// the configured execution mode) and returns its stats, the combined
+// self-verification checksum, and the runtime (for flight-recorder
+// post-mortems).
+func runChaosMark(mark string, sc Scale, prof *transport.Profile, cc core.CacheConfig, fc *fault.Config, seed int64) (core.RunStats, uint64, *core.Runtime) {
+	return runMark(mark, core.Config{
 		Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: cc, Seed: seed,
 		Fault: fc, Flight: flightCfg.Load(),
-	})
-	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
-	}
-	p := dis.Default(sc.Threads)
-	checks := make([]uint64, sc.Threads)
-	st, err := rt.Run(func(t *core.Thread) { checks[t.ID()] = fn(t, p) })
-	if err != nil {
-		// Run already auto-dumped the flight tail when a dump sink is
-		// configured; the panic carries the typed cause.
-		panic(fmt.Sprintf("bench: chaos run failed: %v", err))
-	}
-	return st, dis.Checksum(checks), rt
+	}, dis.Default(sc.Threads))
 }
 
 // ChaosSweep measures a degradation curve: the stressmark and the
@@ -85,15 +74,14 @@ func runChaosMark(fn dis.Func, sc Scale, prof *transport.Profile, cc core.CacheC
 // loss-free one — the fast path staying correct is the experiment's
 // whole claim — and a cache-on/cache-off divergence panics outright.
 func ChaosSweep(mark string, prof *transport.Profile, sc Scale, losses []float64, seed int64) []ChaosPoint {
-	fn, err := dis.ByName(mark)
-	if err != nil {
+	if _, err := dis.ByName(mark); err != nil {
 		panic(err)
 	}
 	pts := make([]ChaosPoint, len(losses))
 	parfor(len(losses), func(i int) {
 		fc := ChaosFaults(losses[i])
-		z, zsum, _ := runChaosMark(fn, sc, prof, core.NoCache(), &fc, seed)
-		w, wsum, wrt := runChaosMark(fn, sc, prof, core.DefaultCache(), &fc, seed)
+		z, zsum, _ := runChaosMark(mark, sc, prof, core.NoCache(), &fc, seed)
+		w, wsum, wrt := runChaosMark(mark, sc, prof, core.DefaultCache(), &fc, seed)
 		if zsum != wsum {
 			divergenceDump(wrt, fmt.Sprintf("%s at loss %g: checksum changed by cache: %x vs %x",
 				mark, losses[i], zsum, wsum))
@@ -164,7 +152,7 @@ func ReliabilityTable(seed int64) []RelRow {
 		prof := profs[i]
 		nack := runNackChurn(prof, seed)
 		fc := ChaosFaults(0.02)
-		chaos, _, _ := runChaosMark(dis.Pointer, Scale{Threads: 8, Nodes: 4}, prof,
+		chaos, _, _ := runChaosMark("pointer", Scale{Threads: 8, Nodes: 4}, prof,
 			core.DefaultCache(), &fc, seed)
 		rows[i] = RelRow{
 			Transport:     prof.Name,

@@ -48,27 +48,16 @@ type CrashPoint struct {
 }
 
 // runCrashMark runs one stressmark over the reliable layer with the
-// given crash schedule (nil = crash-free baseline) and returns its
-// stats, the combined self-verification checksum, and the runtime (for
-// flight-recorder post-mortems).
-func runCrashMark(fn dis.Func, sc Scale, prof *transport.Profile, cc *core.CrashConfig, seed int64) (core.RunStats, uint64, *core.Runtime) {
+// given crash schedule (nil = crash-free baseline), in the configured
+// execution mode, and returns its stats, the combined
+// self-verification checksum, and the runtime (for flight-recorder
+// post-mortems).
+func runCrashMark(mark string, sc Scale, prof *transport.Profile, cc *core.CrashConfig, seed int64) (core.RunStats, uint64, *core.Runtime) {
 	rc := transport.DefaultRelConfig()
-	rt, err := core.NewRuntime(core.Config{
+	return runMark(mark, core.Config{
 		Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: core.DefaultCache(), Seed: seed,
 		Rel: &rc, Crash: cc, Flight: flightCfg.Load(),
-	})
-	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
-	}
-	p := dis.Default(sc.Threads)
-	checks := make([]uint64, sc.Threads)
-	st, err := rt.Run(func(t *core.Thread) { checks[t.ID()] = fn(t, p) })
-	if err != nil {
-		// Run already auto-dumped the flight tail when a dump sink is
-		// configured; the panic carries the typed cause.
-		panic(fmt.Sprintf("bench: crash run failed: %v", err))
-	}
-	return st, dis.Checksum(checks), rt
+	}, dis.Default(sc.Threads))
 }
 
 // CrashSweep measures a recovery curve: the stressmark at each crash
@@ -77,14 +66,13 @@ func runCrashMark(fn dis.Func, sc Scale, prof *transport.Profile, cc *core.Crash
 // invisible to program semantics is the experiment's whole claim, so a
 // checksum diverging from the baseline panics outright.
 func CrashSweep(mark string, prof *transport.Profile, sc Scale, rates []float64, restart sim.Time, seed int64) []CrashPoint {
-	fn, err := dis.ByName(mark)
-	if err != nil {
+	if _, err := dis.ByName(mark); err != nil {
 		panic(err)
 	}
-	base, baseSum, _ := runCrashMark(fn, sc, prof, nil, seed)
+	base, baseSum, _ := runCrashMark(mark, sc, prof, nil, seed)
 	pts := make([]CrashPoint, len(rates))
 	parfor(len(rates), func(i int) {
-		st, sum, srt := runCrashMark(fn, sc, prof, CrashFaults(rates[i], restart), seed)
+		st, sum, srt := runCrashMark(mark, sc, prof, CrashFaults(rates[i], restart), seed)
 		if sum != baseSum {
 			divergenceDump(srt, fmt.Sprintf("%s at crash rate %g: checksum diverged from crash-free run: %x vs %x",
 				mark, rates[i], sum, baseSum))

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"xlupc/internal/core"
-	"xlupc/internal/dis"
 	"xlupc/internal/transport"
 )
 
@@ -16,23 +15,13 @@ import (
 // across sequential and parallel sweeps, and across GOMAXPROCS
 // settings — wall-clock parallelism must never leak into results.
 
-func mustFn(t *testing.T, name string) dis.Func {
-	t.Helper()
-	fn, err := dis.ByName(name)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return fn
-}
-
 // TestRunStatsBitIdenticalAcrossRuns repeats one stressmark run with
 // the same seed and requires identical RunStats, field for field.
 func TestRunStatsBitIdenticalAcrossRuns(t *testing.T) {
-	fn := mustFn(t, "pointer")
 	sc := Scale{Threads: 8, Nodes: 2}
-	first := runStressmark(fn, sc, transport.GM(), core.DefaultCache(), 7)
+	first := runStressmark("pointer", sc, transport.GM(), core.DefaultCache(), 7)
 	for i := 0; i < 3; i++ {
-		again := runStressmark(fn, sc, transport.GM(), core.DefaultCache(), 7)
+		again := runStressmark("pointer", sc, transport.GM(), core.DefaultCache(), 7)
 		if !reflect.DeepEqual(first, again) {
 			t.Fatalf("run %d diverged:\nfirst: %+v\nagain: %+v", i, first, again)
 		}
@@ -43,12 +32,11 @@ func TestRunStatsBitIdenticalAcrossRuns(t *testing.T) {
 // GOMAXPROCS=1 and a high setting; the kernel's strict one-at-a-time
 // handoff must make scheduler parallelism invisible.
 func TestRunStatsIdenticalAcrossGOMAXPROCS(t *testing.T) {
-	fn := mustFn(t, "update")
 	sc := Scale{Threads: 8, Nodes: 2}
 	prev := runtime.GOMAXPROCS(1)
-	one := runStressmark(fn, sc, transport.LAPI(), core.DefaultCache(), 3)
+	one := runStressmark("update", sc, transport.LAPI(), core.DefaultCache(), 3)
 	runtime.GOMAXPROCS(8)
-	many := runStressmark(fn, sc, transport.LAPI(), core.DefaultCache(), 3)
+	many := runStressmark("update", sc, transport.LAPI(), core.DefaultCache(), 3)
 	runtime.GOMAXPROCS(prev)
 	if !reflect.DeepEqual(one, many) {
 		t.Fatalf("GOMAXPROCS changed results:\n1:    %+v\nmany: %+v", one, many)

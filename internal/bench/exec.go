@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"xlupc/internal/core"
+)
+
+// execMode is the package-level execution-mode setting, mirroring
+// SetParallelism/SetFlight: drivers with a continuation port build
+// their runtimes in the selected mode. Atomic because sweeps read it
+// from parfor workers.
+var execMode atomic.Int64
+
+// SetExec selects the execution mode the sweep drivers use for every
+// runtime they build. By the parity contract (bit-identical RunStats
+// and checksums across modes) this changes host performance only,
+// never a figure; drivers whose bodies have no continuation port run
+// in goroutine mode regardless. It returns the previous setting so
+// callers can scope the change.
+func SetExec(m core.ExecMode) core.ExecMode {
+	return core.ExecMode(execMode.Swap(int64(m)))
+}
+
+// Exec reports the sweep drivers' current execution mode.
+func Exec() core.ExecMode { return core.ExecMode(execMode.Load()) }
+
+// ParseExec maps a -exec flag value onto an ExecMode. The empty
+// string means the default (goroutine).
+func ParseExec(s string) (core.ExecMode, error) {
+	switch s {
+	case "", "goroutine":
+		return core.ExecGoroutine, nil
+	case "cont":
+		return core.ExecCont, nil
+	}
+	return core.ExecGoroutine, fmt.Errorf("unknown exec mode %q (want goroutine or cont)", s)
+}

@@ -114,19 +114,48 @@ func LAPIScales(maxThreads int) []Scale {
 	return out
 }
 
+// runMark builds a runtime from cfg (stamping in the package's
+// execution mode) and runs stressmark mark on every thread, returning
+// the run stats, the combined self-verification checksum, and the
+// runtime (for flight-recorder post-mortems). In continuation mode
+// the stressmark's CPS twin runs instead; the parity contract makes
+// the results bit-identical.
+func runMark(mark string, cfg core.Config, p dis.Params) (core.RunStats, uint64, *core.Runtime) {
+	cfg.Exec = Exec()
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	checks := make([]uint64, cfg.Threads)
+	var st core.RunStats
+	if cfg.Exec == core.ExecCont {
+		fnC, cerr := dis.ByNameC(mark)
+		if cerr != nil {
+			panic(cerr)
+		}
+		st, err = rt.RunCont(func(t *core.Thread, done func()) {
+			fnC(t, p, func(c uint64) { checks[t.ID()] = c; done() })
+		})
+	} else {
+		fn, gerr := dis.ByName(mark)
+		if gerr != nil {
+			panic(gerr)
+		}
+		st, err = rt.Run(func(t *core.Thread) { checks[t.ID()] = fn(t, p) })
+	}
+	if err != nil {
+		// Run/RunCont already auto-dumped the flight tail when a dump
+		// sink is configured; the panic carries the typed cause.
+		panic(fmt.Sprintf("bench: %s run failed: %v", mark, err))
+	}
+	return st, dis.Checksum(checks), rt
+}
+
 // runStressmark runs one stressmark once and returns the run stats.
-func runStressmark(fn dis.Func, sc Scale, prof *transport.Profile, cc core.CacheConfig, seed int64) core.RunStats {
-	rt, err := core.NewRuntime(core.Config{
+func runStressmark(mark string, sc Scale, prof *transport.Profile, cc core.CacheConfig, seed int64) core.RunStats {
+	st, _, _ := runMark(mark, core.Config{
 		Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: cc, Seed: seed,
-	})
-	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
-	}
-	p := dis.Default(sc.Threads)
-	st, err := rt.Run(func(t *core.Thread) { fn(t, p) })
-	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
-	}
+	}, dis.Default(sc.Threads))
 	return st
 }
 
@@ -140,15 +169,14 @@ type HitRatePoint struct {
 // Fig8 measures address-cache hit rates for a stressmark across scales
 // and cache capacities (4, 10, 100 in the paper).
 func Fig8(mark string, scales []Scale, capacities []int, seed int64) []HitRatePoint {
-	fn, err := dis.ByName(mark)
-	if err != nil {
+	if _, err := dis.ByName(mark); err != nil {
 		panic(err)
 	}
 	out := make([]HitRatePoint, len(capacities)*len(scales))
 	parfor(len(out), func(i int) {
 		capEntries, sc := capacities[i/len(scales)], scales[i%len(scales)]
 		cc := core.CacheConfig{Enabled: true, Capacity: capEntries}
-		st := runStressmark(fn, sc, transport.GM(), cc, seed)
+		st := runStressmark(mark, sc, transport.GM(), cc, seed)
 		out[i] = HitRatePoint{Scale: sc, Capacity: capEntries, HitRate: st.Cache.HitRate()}
 	})
 	return out
@@ -187,8 +215,8 @@ func Fig9(prof *transport.Profile, scales []Scale, seed int64) []Fig9Point {
 	out := make([]Fig9Point, len(suite)*len(scales))
 	parfor(len(out), func(i int) {
 		s, sc := suite[i/len(scales)], scales[i%len(scales)]
-		z := runStressmark(s.Fn, sc, prof, core.NoCache(), seed)
-		w := runStressmark(s.Fn, sc, prof, core.DefaultCache(), seed)
+		z := runStressmark(s.Name, sc, prof, core.NoCache(), seed)
+		w := runStressmark(s.Name, sc, prof, core.DefaultCache(), seed)
 		out[i] = Fig9Point{
 			Scale: sc, Mark: s.Name,
 			Improvement: stats.Improvement(z.Elapsed.Usecs(), w.Elapsed.Usecs()),
@@ -223,8 +251,7 @@ func PrintFig9(w io.Writer, prof *transport.Profile, scales []Scale, seed int64)
 // independent seeds and returned as a sample, from which the caller
 // reads the mean and the 95% confidence half-width.
 func Fig9CI(mark string, prof *transport.Profile, sc Scale, reps int, seed int64) stats.Sample {
-	fn, err := dis.ByName(mark)
-	if err != nil {
+	if _, err := dis.ByName(mark); err != nil {
 		panic(err)
 	}
 	imps := make([]float64, reps)
@@ -233,16 +260,9 @@ func Fig9CI(mark string, prof *transport.Profile, sc Scale, reps int, seed int64
 		p := dis.Default(sc.Threads)
 		p.Salt = uint64(rs)
 		run := func(cc core.CacheConfig) core.RunStats {
-			rt, err := core.NewRuntime(core.Config{
+			st, _, _ := runMark(mark, core.Config{
 				Threads: sc.Threads, Nodes: sc.Nodes, Profile: prof, Cache: cc, Seed: rs,
-			})
-			if err != nil {
-				panic(err)
-			}
-			st, err := rt.Run(func(t *core.Thread) { fn(t, p) })
-			if err != nil {
-				panic(err)
-			}
+			}, p)
 			return st
 		}
 		z, w := run(core.NoCache()), run(core.DefaultCache())
@@ -283,20 +303,40 @@ func PrintFig9CI(w io.Writer, prof *transport.Profile, scales []Scale, reps int,
 // workload.
 func MissOverhead(prof *transport.Profile, seed int64) (pct float64) {
 	run := func(cc core.CacheConfig) sim.Time {
-		rt, err := core.NewRuntime(core.Config{
-			Threads: 8, Nodes: 4, Profile: prof, Cache: cc, Seed: seed,
-		})
+		cfg := core.Config{
+			Threads: 8, Nodes: 4, Profile: prof, Cache: cc, Seed: seed, Exec: Exec(),
+		}
+		rt, err := core.NewRuntime(cfg)
 		if err != nil {
 			panic(err)
 		}
-		st, err := rt.Run(func(t *core.Thread) {
-			a := t.AllAlloc("mo", 1024, 8, 128)
-			t.Barrier()
-			for i := 0; i < 600; i++ {
-				t.GetUint64(a.At(int64(t.Rand().Intn(1024))))
-			}
-			t.Barrier()
-		})
+		var st core.RunStats
+		if cfg.Exec == core.ExecCont {
+			st, err = rt.RunCont(func(t *core.Thread, done func()) {
+				t.AllAllocC("mo", 1024, 8, 128, func(a *core.SharedArray) {
+					t.BarrierC(func() {
+						i := 0
+						sim.Loop(func(next func()) {
+							if i == 600 {
+								t.BarrierC(done)
+								return
+							}
+							i++
+							t.GetUint64C(a.At(int64(t.Rand().Intn(1024))), func(uint64) { next() })
+						})
+					})
+				})
+			})
+		} else {
+			st, err = rt.Run(func(t *core.Thread) {
+				a := t.AllAlloc("mo", 1024, 8, 128)
+				t.Barrier()
+				for i := 0; i < 600; i++ {
+					t.GetUint64(a.At(int64(t.Rand().Intn(1024))))
+				}
+				t.Barrier()
+			})
+		}
 		if err != nil {
 			panic(err)
 		}
@@ -315,7 +355,7 @@ func PinUsage(prof *transport.Profile, sc Scale, seed int64) map[string]int {
 	suite := dis.Suite()
 	peaks := make([]int, len(suite))
 	parfor(len(suite), func(i int) {
-		st := runStressmark(suite[i].Fn, sc, prof, core.DefaultCache(), seed)
+		st := runStressmark(suite[i].Name, sc, prof, core.DefaultCache(), seed)
 		for _, p := range st.PinnedPeak {
 			if p > peaks[i] {
 				peaks[i] = p

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"xlupc/internal/addrcache"
+	"xlupc/internal/core"
+	"xlupc/internal/fault"
+	"xlupc/internal/kv"
+	"xlupc/internal/sim"
+	"xlupc/internal/stats"
+	"xlupc/internal/transport"
+)
+
+// KVOpts configures one key-value dataplane run.
+type KVOpts struct {
+	Scale    Scale
+	Prof     *transport.Profile
+	Ops      int64   // operations per thread
+	Keys     int64   // key population
+	Theta    float64 // Zipfian skew in [0,1)
+	ReadFrac float64 // GET fraction in [0,1]
+	Rate     float64 // offered rate per thread, ops/s (0 = closed loop)
+	SLO      sim.Duration
+	// Cached selects the dataplane: true reads through the address
+	// cache over one-sided RDMA (the Storm read protocol); false turns
+	// the cache off and forces every remote read through the lookup AM
+	// (the baseline the paper's cache is measured against).
+	Cached bool
+	Fault  *fault.Config     // optional wire hazards (reliable delivery on)
+	Crash  *core.CrashConfig // optional crash/restart schedule
+	Seed   int64
+}
+
+func (o KVOpts) workload() kv.Workload {
+	return kv.Workload{Ops: o.Ops, NumKeys: o.Keys, Theta: o.Theta,
+		ReadFrac: o.ReadFrac, Rate: o.Rate, SLO: o.SLO}
+}
+
+// KVResult is one run's outcome: the merged generator result, the
+// aggregated table counters, and the run-level figures derived from
+// them.
+type KVResult struct {
+	Merged   kv.ThreadResult
+	Table    kv.Stats
+	Run      core.RunStats
+	Elapsed  sim.Time
+	OpsPerMs float64 // completed ops per virtual millisecond, all threads
+	HitRate  float64 // address-cache hit rate on the kv object's lines alone
+}
+
+// RunKV runs the sharded KV dataplane under the given options in the
+// configured execution mode and returns the merged result. Same
+// options, same figures — bit for bit — whatever the mode or the host
+// parallelism.
+func RunKV(o KVOpts) KVResult {
+	w := o.workload()
+	if err := w.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	cc := core.NoCache()
+	if o.Cached {
+		cc = core.DefaultCache()
+	}
+	cfg := core.Config{
+		Threads: o.Scale.Threads, Nodes: o.Scale.Nodes, Profile: o.Prof, Cache: cc,
+		Seed: o.Seed, Fault: o.Fault, Crash: o.Crash, Flight: flightCfg.Load(), Exec: Exec(),
+	}
+	if o.Crash != nil {
+		rc := transport.DefaultRelConfig()
+		cfg.Rel = &rc
+	}
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	ko := kv.Options{Name: "kv", NumKeys: o.Keys, ReadViaAM: !o.Cached}
+	results := make([]kv.ThreadResult, cfg.Threads)
+	tables := make([]kv.Stats, cfg.Threads)
+	z := kv.NewZipf(w.NumKeys, w.Theta)
+	var handle uint64
+	var st core.RunStats
+	if cfg.Exec == core.ExecCont {
+		st, err = rt.RunCont(func(t *core.Thread, done func()) {
+			kv.NewC(t, ko, func(tb *kv.Table) {
+				if t.ID() == 0 {
+					handle = tb.Array().Handle().Key()
+				}
+				kv.PreloadC(t, tb, w.NumKeys, func(int64) {
+					kv.RunLoadC(t, tb, w, z, func(r kv.ThreadResult) {
+						results[t.ID()] = r
+						tables[t.ID()] = tb.Stats
+						done()
+					})
+				})
+			})
+		})
+	} else {
+		st, err = rt.Run(func(t *core.Thread) {
+			tb := kv.New(t, ko)
+			if t.ID() == 0 {
+				handle = tb.Array().Handle().Key()
+			}
+			kv.Preload(t, tb, w.NumKeys)
+			results[t.ID()] = kv.RunLoad(t, tb, w, z)
+			tables[t.ID()] = tb.Stats
+		})
+	}
+	if err != nil {
+		// Run/RunCont already auto-dumped the flight tail when a dump
+		// sink is configured; the panic carries the typed cause.
+		panic(fmt.Sprintf("bench: kv run failed: %v", err))
+	}
+	res := KVResult{Merged: kv.Merge(results), Run: st, Elapsed: st.Elapsed}
+	for _, ts := range tables {
+		res.Table.Add(ts)
+	}
+	if us := st.Elapsed.Usecs(); us > 0 {
+		res.OpsPerMs = float64(res.Merged.Ops) / (us / 1000)
+	}
+	// Per-object hit rate: fold the per-(handle, home-node) counters of
+	// every initiating node's cache — the kv object's lines alone, not
+	// whatever else the run looked up.
+	var ks addrcache.KeyStats
+	for n := 0; n < cfg.Nodes; n++ {
+		c := rt.Cache(n)
+		if c == nil {
+			continue
+		}
+		for m := 0; m < cfg.Nodes; m++ {
+			s := c.KeyStats(addrcache.Key{Handle: handle, Node: int32(m)})
+			ks.Hits += s.Hits
+			ks.Misses += s.Misses
+		}
+	}
+	res.HitRate = ks.HitRate()
+	return res
+}
+
+// KVSkewPoint is one Zipf-skew measurement: the cached one-sided
+// dataplane against the AM-only baseline at identical load.
+type KVSkewPoint struct {
+	Theta       float64
+	Cached      KVResult
+	AMOnly      KVResult
+	Improvement float64 // mean-latency improvement of the cached path, %
+}
+
+// KVSkewSweep measures the skew × transport experiment: at each theta,
+// the same offered load once through the cached one-sided read path
+// and once AM-only with the cache off. Points run across the harness
+// workers in deterministic output order.
+func KVSkewSweep(prof *transport.Profile, sc Scale, thetas []float64, o KVOpts) []KVSkewPoint {
+	pts := make([]KVSkewPoint, len(thetas))
+	parfor(len(thetas), func(i int) {
+		p := o
+		p.Prof, p.Scale, p.Theta = prof, sc, thetas[i]
+		p.Cached = true
+		cached := RunKV(p)
+		p.Cached = false
+		am := RunKV(p)
+		zMean := float64(am.Merged.LatSum) / float64(am.Merged.Ops)
+		wMean := float64(cached.Merged.LatSum) / float64(cached.Merged.Ops)
+		pts[i] = KVSkewPoint{
+			Theta: thetas[i], Cached: cached, AMOnly: am,
+			Improvement: stats.Improvement(zMean, wMean),
+		}
+	})
+	return pts
+}
+
+// PrintKVSkew emits one skew-sweep table and returns its points.
+func PrintKVSkew(w io.Writer, prof *transport.Profile, sc Scale, thetas []float64, o KVOpts) []KVSkewPoint {
+	pts := KVSkewSweep(prof, sc, thetas, o)
+	fmt.Fprintf(w, "# KV — %s, %s: %d keys, %d ops/thread, read mix %.2f, rate %.0f/s (cached one-sided vs AM-only)\n",
+		prof.Name, sc, o.Keys, o.Ops, o.ReadFrac, o.Rate)
+	fmt.Fprintf(w, "%6s %9s %9s %8s %8s %8s %8s %10s %6s %17s\n",
+		"theta", "hit-rate", "kops/ms", "p50(us)", "p95(us)", "p99(us)",
+		"am-p99", "improv(%)", "torn", "checksum")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%6.2f %9.2f %9.2f %8.2f %8.2f %8.2f %8.2f %s %6d %17x\n",
+			pt.Theta, pt.Cached.HitRate, pt.Cached.OpsPerMs,
+			pt.Cached.Merged.Quantile(0.50).Usecs(),
+			pt.Cached.Merged.Quantile(0.95).Usecs(),
+			pt.Cached.Merged.Quantile(0.99).Usecs(),
+			pt.AMOnly.Merged.Quantile(0.99).Usecs(),
+			fmtImprov(10, pt.Improvement), pt.Cached.Table.TornRetries, pt.Cached.Merged.Checksum)
+	}
+	return pts
+}
+
+// KVSLOPoint is one hazard-rate measurement of the chaos-under-load
+// SLO curve: tail latency and availability at a given packet-loss or
+// crash rate.
+type KVSLOPoint struct {
+	Rate         float64 // loss rate or crash rate, per the sweep
+	Result       KVResult
+	P99Us        float64
+	Availability float64 // fraction of ops inside the SLO
+}
+
+// KVLossCurve measures tail latency and availability against packet
+// loss: the cached dataplane at each loss rate over the reliable
+// layer. Every run must complete every op — crash-free loss never
+// loses data, only time — so Ops is asserted, not reported.
+func KVLossCurve(prof *transport.Profile, sc Scale, losses []float64, o KVOpts) []KVSLOPoint {
+	pts := make([]KVSLOPoint, len(losses))
+	parfor(len(losses), func(i int) {
+		p := o
+		p.Prof, p.Scale, p.Cached = prof, sc, true
+		fc := ChaosFaults(losses[i])
+		p.Fault = &fc
+		r := RunKV(p)
+		if want := int64(sc.Threads) * o.Ops; r.Merged.Ops != want {
+			panic(fmt.Sprintf("bench: kv at loss %g completed %d/%d ops", losses[i], r.Merged.Ops, want))
+		}
+		pts[i] = KVSLOPoint{Rate: losses[i], Result: r,
+			P99Us: r.Merged.Quantile(0.99).Usecs(), Availability: r.Merged.Availability()}
+	})
+	return pts
+}
+
+// KVCrashCurve is KVLossCurve against node crash/restart rates:
+// epoch-guarded RDMA, stale-cache recovery and parked retransmits
+// under open-loop KV load.
+func KVCrashCurve(prof *transport.Profile, sc Scale, rates []float64, restart sim.Time, o KVOpts) []KVSLOPoint {
+	pts := make([]KVSLOPoint, len(rates))
+	parfor(len(rates), func(i int) {
+		p := o
+		p.Prof, p.Scale, p.Cached = prof, sc, true
+		p.Crash = CrashFaults(rates[i], restart)
+		r := RunKV(p)
+		if want := int64(sc.Threads) * o.Ops; r.Merged.Ops != want {
+			panic(fmt.Sprintf("bench: kv at crash rate %g completed %d/%d ops", rates[i], r.Merged.Ops, want))
+		}
+		pts[i] = KVSLOPoint{Rate: rates[i], Result: r,
+			P99Us: r.Merged.Quantile(0.99).Usecs(), Availability: r.Merged.Availability()}
+	})
+	return pts
+}
+
+// PrintKVSLO emits one SLO-curve table (loss or crash sweep) and
+// returns its points.
+func PrintKVSLO(w io.Writer, kind string, prof *transport.Profile, sc Scale, pts []KVSLOPoint, o KVOpts) {
+	slo := o.SLO
+	if slo == 0 {
+		slo = kv.DefaultSLO
+	}
+	fmt.Fprintf(w, "# KV SLO — %s, %s: availability = ops inside %v at theta %.2f, read mix %.2f, rate %.0f/s vs %s rate\n",
+		prof.Name, sc, slo, o.Theta, o.ReadFrac, o.Rate, kind)
+	fmt.Fprintf(w, "%8s %8s %8s %9s %7s %8s %7s %7s %7s\n",
+		kind, "p50(us)", "p99(us)", "avail", "torn", "am-falls", "retx", "stale", "crashes")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%8.3f %8.2f %8.2f %9.4f %7d %8d %7d %7d %7d\n",
+			pt.Rate, pt.Result.Merged.Quantile(0.50).Usecs(), pt.P99Us, pt.Availability,
+			pt.Result.Table.TornRetries, pt.Result.Table.AMLookups,
+			pt.Result.Run.Retransmits, pt.Result.Run.StaleNacks, pt.Result.Run.Crashes)
+	}
+}

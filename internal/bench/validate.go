@@ -1,6 +1,11 @@
 package bench
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
 
 // ValidateScale checks the thread/node counts the hybrid mapping
 // assumes: both positive, threads an exact multiple of nodes. The CLIs
@@ -13,6 +18,61 @@ func ValidateScale(threads, nodes int) error {
 	}
 	if threads%nodes != 0 {
 		return fmt.Errorf("-threads (%d) must be a multiple of -nodes (%d): hybrid mode places threads/nodes UPC threads on every node", threads, nodes)
+	}
+	return nil
+}
+
+// parseFloats parses a comma-separated float list for flagName,
+// rejecting NaN and anything outside [0, hi) — or [0, hi] when incl.
+// NaN slips through plain range comparisons (both are false), so it
+// is rejected explicitly: a NaN rate or skew would silently corrupt
+// every schedule or sampler draw.
+func parseFloats(flagName, list string, hi float64, incl bool) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		bad := err != nil || math.IsNaN(v) || v < 0
+		if !bad {
+			if incl {
+				bad = v > hi
+			} else {
+				bad = v >= hi
+			}
+		}
+		if bad {
+			op := "<"
+			if incl {
+				op = "<="
+			}
+			return nil, fmt.Errorf("bad %s value %q (want 0 <= v %s %g)", flagName, s, op, hi)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseRates parses a comma-separated probability list — loss rates,
+// crash rates, Zipf skews — rejecting NaN and values outside [0, 1).
+// The CLIs share it so every rate-shaped flag fails the same way.
+func ParseRates(flagName, list string) ([]float64, error) {
+	return parseFloats(flagName, list, 1, false)
+}
+
+// ParseFracs parses a comma-separated fraction list — read mixes —
+// rejecting NaN and values outside [0, 1] (1 is legal: a pure-read
+// workload is meaningful where a certain packet loss is not).
+func ParseFracs(flagName, list string) ([]float64, error) {
+	return parseFloats(flagName, list, 1, true)
+}
+
+// ValidatePositive rejects zero or negative counts (-ops, -keys).
+func ValidatePositive(flagName string, v int64) error {
+	if v <= 0 {
+		return fmt.Errorf("%s (%d) must be positive", flagName, v)
 	}
 	return nil
 }

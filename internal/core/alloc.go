@@ -64,6 +64,13 @@ func (ns *nodeState) installArray(h svd.Handle, kind svd.Kind, name string, l La
 // everything affine to thread 0). All threads must call it with the
 // same arguments; all receive the same array.
 func (t *Thread) AllAlloc(name string, numElems int64, elemSize int, block int64) *SharedArray {
+	return t.AllAllocKind(svd.KindArray, name, numElems, elemSize, block)
+}
+
+// AllAllocKind is AllAlloc with an explicit SVD object kind, so layers
+// above the runtime (internal/kv) can label their segments distinctly
+// in every replica's directory.
+func (t *Thread) AllAllocKind(kind svd.Kind, name string, numElems int64, elemSize int, block int64) *SharedArray {
 	if numElems <= 0 || elemSize <= 0 {
 		panic(fmt.Sprintf("core: AllAlloc(%s) with nonpositive size", name))
 	}
@@ -76,7 +83,7 @@ func (t *Thread) AllAlloc(name string, numElems int64, elemSize int, block int64
 		idx := ns.dir.NextIndex(svd.AllPartition)
 		h := svd.Handle{Part: svd.AllPartition, Index: idx}
 		t.Compute(allocCPUCost)
-		ns.installArray(h, svd.KindArray, name, l)
+		ns.installArray(h, kind, name, l)
 		ns.collective = &SharedArray{rt: t.rt, h: h, l: l, name: name}
 	}
 	t.Barrier()

@@ -951,6 +951,11 @@ func (nb *nodeBarrier) awaitC(ct *sim.Cont, key dissKey, then func()) {
 
 // AllAllocC is Thread.AllAlloc in continuation-passing style.
 func (t *Thread) AllAllocC(name string, numElems int64, elemSize int, block int64, then func(a *SharedArray)) {
+	t.AllAllocKindC(svd.KindArray, name, numElems, elemSize, block, then)
+}
+
+// AllAllocKindC is Thread.AllAllocKind in continuation-passing style.
+func (t *Thread) AllAllocKindC(kind svd.Kind, name string, numElems int64, elemSize int, block int64, then func(a *SharedArray)) {
 	if numElems <= 0 || elemSize <= 0 {
 		panic(fmt.Sprintf("core: AllAlloc(%s) with nonpositive size", name))
 	}
@@ -970,7 +975,7 @@ func (t *Thread) AllAllocC(name string, numElems int64, elemSize int, block int6
 			idx := ns.dir.NextIndex(svd.AllPartition)
 			h := svd.Handle{Part: svd.AllPartition, Index: idx}
 			t.ComputeC(allocCPUCost, func() {
-				ns.installArray(h, svd.KindArray, name, l)
+				ns.installArray(h, kind, name, l)
 				ns.collective = &SharedArray{rt: t.rt, h: h, l: l, name: name}
 				closing()
 			})

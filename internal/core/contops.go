@@ -65,6 +65,14 @@ type contOps struct {
 	eSendFn func()
 	eDoneFn func()
 
+	// User-AM call in flight (Thread.CallAMC, useram.go).
+	udst    []byte
+	udone   *sim.Completion
+	uspan   *telemetry.Span
+	uthen   func(n int)
+	uSendFn func()
+	uDoneFn func()
+
 	// GetUint64C wrapper: the pending value callback.
 	u64then func(v uint64)
 	u64Fn   func()
@@ -85,6 +93,8 @@ func (t *Thread) ops() *contOps {
 		o.lPutFn = o.localPutDone
 		o.eSendFn = o.eagerSent
 		o.eDoneFn = o.eagerDone
+		o.uSendFn = o.userSent
+		o.uDoneFn = o.userDone
 		o.u64Fn = o.u64Done
 		t.cops = o
 	}
@@ -220,6 +230,27 @@ func (o *contOps) eagerDone() {
 	then := o.ethen
 	o.edst, o.edone, o.ethen = nil, nil, nil
 	then()
+}
+
+// --- User-AM call (mirror CallAM in useram.go) --------------------------
+
+// userSent runs once the user-AM request is on the wire: park on the
+// reply.
+func (o *contOps) userSent() {
+	o.udone.WaitFn(o.t.c, o.uDoneFn)
+}
+
+// userDone copies the reply payload out, finishes the span and runs
+// the continuation with the payload length — the same order as the
+// blocking twin.
+func (o *contOps) userDone() {
+	done := o.udone
+	n := copy(o.udst, done.Bytes())
+	o.t.rt.K.Recycle(done) // handler's only reference died with the reply
+	span, then := o.uspan, o.uthen
+	o.udst, o.udone, o.uspan, o.uthen = nil, nil, nil, nil
+	span.Finish(o.t.Now())
+	then(n)
 }
 
 // --- GetUint64C wrapper -------------------------------------------------

@@ -35,6 +35,8 @@ const (
 	hAtomicRep
 	hLockTry
 	hLockTryRep
+	hUserReq // user-level AM request (useram.go)
+	hUserRep
 )
 
 // Runtime is one simulated execution of a UPC program: a kernel, a
@@ -50,6 +52,9 @@ type Runtime struct {
 
 	putCache bool // effective PUT-caching decision
 	ran      bool
+
+	// userHandlers is the user-level AM dispatch table (useram.go).
+	userHandlers [maxUserHandlers]UserHandler
 
 	// Crash orchestration (all zero-valued when cfg.Crash is nil).
 	crashTimers      []*sim.Timer // pending scheduled crashes
@@ -76,6 +81,10 @@ type nodeState struct {
 	// freshly allocated array) to the node's other threads across the
 	// closing barrier of a collective operation.
 	collective any
+
+	// user holds node-scoped singletons of user-level protocols
+	// (per-node locks, counters); see nodeLocal in useram.go.
+	user map[string]any
 }
 
 // NewRuntime builds the simulated cluster for cfg.
@@ -139,6 +148,11 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 
 // Node returns node n's runtime state (test and tooling hook).
 func (rt *Runtime) node(n int) *nodeState { return rt.nodes[n] }
+
+// Cache returns node n's remote address cache, nil when caching is off
+// — the hook layers above the runtime use to report per-object hit
+// rates (addrcache.Cache.KeyStats).
+func (rt *Runtime) Cache(n int) *addrcache.Cache { return rt.nodes[n].cache }
 
 // nodeOfThread maps a UPC thread id to its node.
 func (rt *Runtime) nodeOfThread(t int) *nodeState {
@@ -480,6 +494,8 @@ func (rt *Runtime) registerHandlers() {
 	rt.M.Handle(hAtomicRep, rt.handleAtomicRep)
 	rt.M.Handle(hLockTry, rt.handleLockTry)
 	rt.M.Handle(hLockTryRep, rt.handleLockTryRep)
+	rt.M.Handle(hUserReq, rt.handleUserReq)
+	rt.M.Handle(hUserRep, rt.handleUserRep)
 }
 
 // handleFromKey rebuilds an svd.Handle from its packed key.

@@ -72,6 +72,10 @@ func (t *Thread) Threads() int { return t.rt.cfg.Threads }
 // Node is the cluster node this thread runs on.
 func (t *Thread) Node() int { return t.ns.id }
 
+// Runtime returns the runtime this thread belongs to, so layers above
+// (internal/kv) can register user-AM handlers and read cache state.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
 // ThreadsPerNode is the hybrid fan-out (co-located threads share
 // memory and a NIC).
 func (t *Thread) ThreadsPerNode() int { return t.rt.cfg.ThreadsPerNode() }

@@ -1,0 +1,355 @@
+package kv
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"xlupc/internal/core"
+	"xlupc/internal/sim"
+	"xlupc/internal/transport"
+)
+
+const testKeys = 512
+
+func testWorkload() Workload {
+	return Workload{Ops: 120, NumKeys: testKeys, Theta: 0.9, ReadFrac: 0.9, Rate: 100000}
+}
+
+func testConfig(exec core.ExecMode, cc core.CacheConfig) core.Config {
+	return core.Config{Threads: 8, Nodes: 4, Profile: transport.GM(), Cache: cc, Seed: 42, Exec: exec}
+}
+
+// runGoroutine runs preload + load in goroutine mode and returns the
+// run stats plus the merged generator result.
+func runGoroutine(t *testing.T, cfg core.Config, o Options, w Workload) (core.RunStats, ThreadResult) {
+	t.Helper()
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	z := NewZipf(w.NumKeys, w.Theta)
+	results := make([]ThreadResult, cfg.Threads)
+	st, err := rt.Run(func(th *core.Thread) {
+		tb := New(th, o)
+		Preload(th, tb, w.NumKeys)
+		results[th.ID()] = RunLoad(th, tb, w, z)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return st, Merge(results)
+}
+
+// runCont is runGoroutine under ExecCont.
+func runCont(t *testing.T, cfg core.Config, o Options, w Workload) (core.RunStats, ThreadResult) {
+	t.Helper()
+	cfg.Exec = core.ExecCont
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	z := NewZipf(w.NumKeys, w.Theta)
+	results := make([]ThreadResult, cfg.Threads)
+	st, err := rt.RunCont(func(th *core.Thread, done func()) {
+		NewC(th, o, func(tb *Table) {
+			PreloadC(th, tb, w.NumKeys, func(int64) {
+				RunLoadC(th, tb, w, z, func(r ThreadResult) {
+					results[th.ID()] = r
+					done()
+				})
+			})
+		})
+	})
+	if err != nil {
+		t.Fatalf("RunCont: %v", err)
+	}
+	return st, Merge(results)
+}
+
+// TestKVDeterminism: the same seed must give bit-identical results
+// across repeat runs, host GOMAXPROCS, and both execution modes.
+func TestKVDeterminism(t *testing.T) {
+	o := Options{Name: "kv", NumKeys: testKeys}
+	w := testWorkload()
+	st1, m1 := runGoroutine(t, testConfig(core.ExecGoroutine, core.DefaultCache()), o, w)
+	st2, m2 := runGoroutine(t, testConfig(core.ExecGoroutine, core.DefaultCache()), o, w)
+	if m1.Checksum != m2.Checksum {
+		t.Fatalf("repeat run checksum diverged: %#x vs %#x", m1.Checksum, m2.Checksum)
+	}
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("repeat run stats diverged:\n%+v\n%+v", st1, st2)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	st3, m3 := runGoroutine(t, testConfig(core.ExecGoroutine, core.DefaultCache()), o, w)
+	runtime.GOMAXPROCS(prev)
+	if m3.Checksum != m1.Checksum || !reflect.DeepEqual(st3, st1) {
+		t.Fatalf("GOMAXPROCS=1 run diverged: %#x vs %#x", m3.Checksum, m1.Checksum)
+	}
+
+	stc, mc := runCont(t, testConfig(core.ExecGoroutine, core.DefaultCache()), o, w)
+	if mc.Checksum != m1.Checksum {
+		t.Fatalf("exec-mode checksum diverged: goroutine %#x vs cont %#x", m1.Checksum, mc.Checksum)
+	}
+	if !reflect.DeepEqual(stc, st1) {
+		t.Fatalf("exec-mode stats diverged:\ngoroutine %+v\ncont      %+v", st1, stc)
+	}
+	if !reflect.DeepEqual(mc, m1) {
+		t.Fatalf("exec-mode merged results diverged:\ngoroutine %+v\ncont      %+v", m1, mc)
+	}
+	if m1.Ops != int64(testConfig(core.ExecGoroutine, core.DefaultCache()).Threads)*w.Ops {
+		t.Fatalf("op count %d, want %d", m1.Ops, 8*w.Ops)
+	}
+}
+
+// TestKVGoldenChecksum pins the canonical smoke configuration to a
+// checked-in checksum, so any change to the kv protocol, the layout
+// arithmetic or the load generator that alters behaviour is caught in
+// CI. Regenerate deliberately by updating the constant.
+func TestKVGoldenChecksum(t *testing.T) {
+	const golden = uint64(0x9a6a08d8cfc4d696)
+	_, m := runGoroutine(t, testConfig(core.ExecGoroutine, core.DefaultCache()), Options{Name: "kv", NumKeys: testKeys}, testWorkload())
+	if m.Checksum != golden {
+		t.Fatalf("golden checksum diverged: got %#x, want %#x", m.Checksum, golden)
+	}
+}
+
+// TestCachedBeatsAMOnly: with a hot address cache, one-sided reads
+// must beat the AM-only baseline on a read-heavy skewed workload.
+func TestCachedBeatsAMOnly(t *testing.T) {
+	o := Options{Name: "kv", NumKeys: testKeys}
+	w := testWorkload()
+	w.Rate = 0 // closed loop: elapsed time is pure op latency
+	_, cached := runGoroutine(t, testConfig(core.ExecGoroutine, core.DefaultCache()), o, w)
+	amOnly := o
+	amOnly.ReadViaAM = true
+	_, am := runGoroutine(t, testConfig(core.ExecGoroutine, core.NoCache()), amOnly, w)
+	if cached.Ops != am.Ops {
+		t.Fatalf("op counts diverged: %d vs %d", cached.Ops, am.Ops)
+	}
+	cachedMean := float64(cached.LatSum) / float64(cached.Ops)
+	amMean := float64(am.LatSum) / float64(am.Ops)
+	if cachedMean >= amMean {
+		t.Fatalf("cached mean latency %.0fps not better than AM-only %.0fps", cachedMean, amMean)
+	}
+}
+
+// TestTornReadRetry provokes the Storm read protocol's torn-read path
+// deterministically: a one-sided GET lands inside a writer's widened
+// seqlock window, observes the odd sequence word, and must retry
+// exactly once through the lookup AM, returning the post-write value.
+func TestTornReadRetry(t *testing.T) {
+	cfg := core.Config{Threads: 4, Nodes: 2, Profile: transport.GM(), Cache: core.DefaultCache(), Seed: 7}
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	o := Options{Name: "torn", NumKeys: 64, WriteWindow: 60 * sim.Us}
+	var torn, rereads, amLookups int64
+	var got uint64
+	var gotOK bool
+	var key uint64
+	_, err = rt.Run(func(th *core.Thread) {
+		tb := New(th, o)
+		// Deterministic key homed on node 1, read from node 0.
+		for k := uint64(1); ; k++ {
+			if tb.HomeNode(k) == 1 {
+				key = k
+				break
+			}
+		}
+		owner := tb.ShardOf(key)
+		if th.ID() == owner {
+			if !tb.Put(th, key, encodeValue(key, 1)) {
+				panic("seed put failed")
+			}
+		}
+		th.Barrier()
+		if th.ID() == 0 {
+			// Warm the address cache: miss (AM with piggyback), then hit.
+			if _, ok := tb.Get(th, key); !ok {
+				panic("warm read missed")
+			}
+			if _, ok := tb.Get(th, key); !ok {
+				panic("warm read missed")
+			}
+			if tb.Stats.AMLookups != 0 {
+				panic("warm reads should ride the runtime GET path, not kv AMs")
+			}
+		}
+		th.Barrier()
+		switch th.ID() {
+		case owner:
+			// Open a 60µs write window immediately after the barrier.
+			tb.Put(th, key, encodeValue(key, 2))
+		case 0:
+			// Issue a one-sided read ~10µs in: it lands mid-window.
+			th.Sleep(10 * sim.Us)
+			got, gotOK = tb.Get(th, key)
+			torn = tb.Stats.TornRetries
+			rereads = tb.Stats.TornRereads
+			amLookups = tb.Stats.AMLookups
+		}
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if torn != 1 {
+		t.Fatalf("TornRetries = %d, want exactly 1", torn)
+	}
+	if rereads != 0 {
+		t.Fatalf("TornRereads = %d, want 0 (reader is remote)", rereads)
+	}
+	if amLookups != 1 {
+		t.Fatalf("AMLookups = %d, want exactly 1 (the retry)", amLookups)
+	}
+	if !gotOK || got != encodeValue(key, 2) {
+		t.Fatalf("torn retry returned (%#x, %v), want the post-write value %#x", got, gotOK, encodeValue(key, 2))
+	}
+}
+
+// TestPutDeleteGet exercises the full op mix including tombstone reuse.
+func TestPutDeleteGet(t *testing.T) {
+	cfg := core.Config{Threads: 4, Nodes: 2, Profile: transport.GM(), Cache: core.DefaultCache(), Seed: 3}
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	_, err = rt.Run(func(th *core.Thread) {
+		tb := New(th, Options{Name: "pdg", NumKeys: 128})
+		th.Barrier()
+		if th.ID() == 0 {
+			for k := uint64(1); k <= 32; k++ {
+				if !tb.Put(th, k, encodeValue(k, 9)) {
+					panic("put failed")
+				}
+			}
+			for k := uint64(1); k <= 32; k++ {
+				v, ok := tb.Get(th, k)
+				if !ok || v != encodeValue(k, 9) {
+					panic("get after put")
+				}
+			}
+			for k := uint64(1); k <= 32; k += 2 {
+				if !tb.Delete(th, k) {
+					panic("delete of present key")
+				}
+				if tb.Delete(th, k) {
+					panic("double delete succeeded")
+				}
+			}
+			for k := uint64(1); k <= 32; k++ {
+				v, ok := tb.Get(th, k)
+				if k%2 == 1 {
+					if ok {
+						panic("get after delete")
+					}
+				} else if !ok || v != encodeValue(k, 9) {
+					panic("survivor key lost")
+				}
+			}
+			// Tombstoned slots must be reusable.
+			for k := uint64(1); k <= 32; k += 2 {
+				if !tb.Put(th, k, encodeValue(k, 10)) {
+					panic("reinsert into tombstone failed")
+				}
+			}
+			for k := uint64(1); k <= 32; k += 2 {
+				if v, ok := tb.Get(th, k); !ok || v != encodeValue(k, 10) {
+					panic("reinserted key wrong")
+				}
+			}
+		}
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestZipfShape sanity-checks the sampler: ranks stay in range, skew
+// favours rank 1, and theta 0 is uniform-ish.
+func TestZipfShape(t *testing.T) {
+	const n, draws = 100, 20000
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(n, 0.99)
+	counts := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		r := z.Next(rng)
+		if r < 1 || r > n {
+			t.Fatalf("rank %d out of [1,%d]", r, n)
+		}
+		counts[r]++
+	}
+	if counts[1] < draws/10 {
+		t.Fatalf("theta=0.99: rank 1 drawn %d/%d times, want heavy head", counts[1], draws)
+	}
+	u := NewZipf(n, 0)
+	uc := make([]int, n+1)
+	for i := 0; i < draws; i++ {
+		r := u.Next(rng)
+		if r < 1 || r > n {
+			t.Fatalf("uniform rank %d out of range", r)
+		}
+		uc[r]++
+	}
+	if uc[1] > 3*draws/n {
+		t.Fatalf("theta=0: rank 1 drawn %d times, want ~%d", uc[1], draws/n)
+	}
+	for k := int64(1); k <= 1000; k++ {
+		key := ScrambleKey(k, 64)
+		if key < 1 || key > 64 {
+			t.Fatalf("scrambled key %d out of [1,64]", key)
+		}
+	}
+}
+
+// TestWorkloadValidate rejects the parameter garbage the CLIs guard.
+func TestWorkloadValidate(t *testing.T) {
+	good := testWorkload()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	nan := 0.0
+	nan = nan / nan
+	bad := []Workload{
+		{Ops: 0, NumKeys: 1, ReadFrac: 0.5},
+		{Ops: -3, NumKeys: 1, ReadFrac: 0.5},
+		{Ops: 1, NumKeys: 0, ReadFrac: 0.5},
+		{Ops: 1, NumKeys: 1, Theta: nan, ReadFrac: 0.5},
+		{Ops: 1, NumKeys: 1, Theta: 1.0, ReadFrac: 0.5},
+		{Ops: 1, NumKeys: 1, Theta: -0.1, ReadFrac: 0.5},
+		{Ops: 1, NumKeys: 1, ReadFrac: nan},
+		{Ops: 1, NumKeys: 1, ReadFrac: 1.5},
+		{Ops: 1, NumKeys: 1, ReadFrac: -0.5},
+		{Ops: 1, NumKeys: 1, ReadFrac: 0.5, Rate: nan},
+		{Ops: 1, NumKeys: 1, ReadFrac: 0.5, Rate: -1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Fatalf("bad workload %d accepted: %+v", i, w)
+		}
+	}
+}
+
+// TestQuantile checks the histogram quantile walks buckets correctly.
+func TestQuantile(t *testing.T) {
+	var r ThreadResult
+	if r.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	r.Hist[10] = 90 // [512, 1024) ps
+	r.Hist[20] = 10 // [512k, 1M) ps
+	r.LatMax = 1 << 20
+	p50 := r.Quantile(0.50)
+	p99 := r.Quantile(0.99)
+	if p50 < 512 || p50 >= 1024 {
+		t.Fatalf("p50 = %d, want within bucket 10", p50)
+	}
+	if p99 < 512<<10 || p99 >= 1<<20 {
+		t.Fatalf("p99 = %d, want within bucket 20", p99)
+	}
+}

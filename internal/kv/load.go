@@ -1,0 +1,351 @@
+package kv
+
+// Open-loop load generation over the Table: each thread issues
+// operations on a fixed schedule (op i is due at start + i/rate)
+// independent of completion times, so measured latencies include any
+// backlog the system accumulates — the coordinated-omission-free
+// convention. Key popularity is scrambled-Zipfian, the read/write mix
+// a Bernoulli draw, and every random decision comes from the thread's
+// deterministic source in a fixed order (key first, then op kind), so
+// a run is bit-reproducible for a config seed across repeats, host
+// parallelism and both execution modes.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"xlupc/internal/core"
+	"xlupc/internal/sim"
+	"xlupc/internal/telemetry"
+)
+
+// DefaultSLO is the per-op latency bound availability is measured
+// against when Workload.SLO is zero.
+const DefaultSLO = 200 * sim.Us
+
+// Workload shapes one thread's share of the offered load.
+type Workload struct {
+	Ops      int64        // operations this thread issues
+	NumKeys  int64        // key population (shared with Preload and the Zipf sampler)
+	Theta    float64      // Zipfian skew in [0,1); 0 = uniform
+	ReadFrac float64      // fraction of ops that are GETs, in [0,1]
+	Rate     float64      // offered rate per thread in ops/sec; 0 = closed loop
+	SLO      sim.Duration // per-op latency SLO (0 = DefaultSLO)
+}
+
+// Validate rejects parameter values the generator cannot honor.
+func (w Workload) Validate() error {
+	if w.Ops <= 0 {
+		return fmt.Errorf("kv: workload ops %d must be positive", w.Ops)
+	}
+	if w.NumKeys <= 0 {
+		return fmt.Errorf("kv: workload key population %d must be positive", w.NumKeys)
+	}
+	if math.IsNaN(w.Theta) || w.Theta < 0 || w.Theta >= 1 {
+		return fmt.Errorf("kv: zipf theta %v outside [0,1)", w.Theta)
+	}
+	if math.IsNaN(w.ReadFrac) || w.ReadFrac < 0 || w.ReadFrac > 1 {
+		return fmt.Errorf("kv: read fraction %v outside [0,1]", w.ReadFrac)
+	}
+	if math.IsNaN(w.Rate) || math.IsInf(w.Rate, 0) || w.Rate < 0 {
+		return fmt.Errorf("kv: offered rate %v must be finite and non-negative", w.Rate)
+	}
+	return nil
+}
+
+// interval is the open-loop issue spacing (0 = closed loop).
+func (w Workload) interval() sim.Time {
+	if w.Rate <= 0 {
+		return 0
+	}
+	return sim.Time(float64(sim.Sec) / w.Rate)
+}
+
+func (w Workload) slo() sim.Time {
+	if w.SLO > 0 {
+		return w.SLO
+	}
+	return DefaultSLO
+}
+
+// ThreadResult is one thread's generator outcome. Latency lands in
+// log2 buckets of picoseconds (bucket b holds [2^(b-1), 2^b) ps), and
+// Checksum digests (key, value, presence, latency) of every op — so
+// two runs agree iff they performed the same ops with the same results
+// at the same virtual times.
+type ThreadResult struct {
+	Ops, Reads, Writes int64
+	Found              int64 // reads that found their key
+	SLOMet             int64 // ops completing within the SLO
+	LatSum, LatMax     sim.Time
+	Hist               [64]int64
+	Checksum           uint64
+}
+
+// Availability is the fraction of ops that met the SLO.
+func (r ThreadResult) Availability() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.SLOMet) / float64(r.Ops)
+}
+
+// Merge folds per-thread results, slot i holding thread i's, into one.
+// The checksum combination is position-sensitive but order-independent
+// of host scheduling, mirroring the stressmarks' self-verification.
+func Merge(rs []ThreadResult) ThreadResult {
+	var m ThreadResult
+	for i, r := range rs {
+		m.Ops += r.Ops
+		m.Reads += r.Reads
+		m.Writes += r.Writes
+		m.Found += r.Found
+		m.SLOMet += r.SLOMet
+		m.LatSum += r.LatSum
+		if r.LatMax > m.LatMax {
+			m.LatMax = r.LatMax
+		}
+		for b := range r.Hist {
+			m.Hist[b] += r.Hist[b]
+		}
+		m.Checksum ^= r.Checksum + uint64(i)*0x9E37
+	}
+	return m
+}
+
+// Quantile estimates the q-quantile latency from the merged histogram
+// as the geometric midpoint of the bucket holding the q-th sample —
+// order-of-magnitude resolution, like the telemetry quantile table.
+func (r ThreadResult) Quantile(q float64) sim.Time {
+	total := int64(0)
+	for _, c := range r.Hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for b, c := range r.Hist {
+		cum += c
+		if cum > rank {
+			if b == 0 {
+				return 0
+			}
+			return sim.Time(float64(uint64(1)<<uint(b)) / math.Sqrt2)
+		}
+	}
+	return r.LatMax
+}
+
+// encodeValue tags a write so readers can verify slot integrity: the
+// low word echoes the key, the high word stamps the writing op.
+func encodeValue(key uint64, stamp uint32) uint64 {
+	return uint64(stamp)<<32 | uint64(uint32(key))
+}
+
+// checkValue asserts the read value echoes its key — a torn or
+// misrouted read would trip this.
+func checkValue(key, val uint64) {
+	if uint32(val) != uint32(key) {
+		panic(fmt.Sprintf("kv: value %#x does not echo key %#x — torn read escaped detection", val, key))
+	}
+}
+
+// Preload collectively installs every key in [1, NumKeys]: each thread
+// inserts the keys its shard owns (all home-local direct writes), and
+// the closing barrier orders the population before any load. Returns
+// this thread's insert count.
+func Preload(t *core.Thread, tb *Table, numKeys int64) int64 {
+	var n int64
+	for key := uint64(1); key <= uint64(numKeys); key++ {
+		if tb.g.shardOf(key) != t.ID() {
+			continue
+		}
+		if !tb.Put(t, key, encodeValue(key, 0)) {
+			panic(fmt.Sprintf("kv: preload overflow inserting key %d — grow BucketsPerShard", key))
+		}
+		n++
+	}
+	t.Barrier()
+	return n
+}
+
+// PreloadC mirrors Preload.
+func PreloadC(t *core.Thread, tb *Table, numKeys int64, then func(n int64)) {
+	var n int64
+	key := uint64(1)
+	var step func()
+	step = func() {
+		for ; key <= uint64(numKeys); key++ {
+			if tb.g.shardOf(key) == t.ID() {
+				break
+			}
+		}
+		if key > uint64(numKeys) {
+			t.BarrierC(func() { then(n) })
+			return
+		}
+		k := key
+		key++
+		tb.PutC(t, k, encodeValue(k, 0), func(ok bool) {
+			if !ok {
+				panic(fmt.Sprintf("kv: preload overflow inserting key %d — grow BucketsPerShard", k))
+			}
+			n++
+			step()
+		})
+	}
+	step()
+}
+
+// fnv1a constants (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// mix64 folds one word into an FNV-1a digest byte by byte.
+func mix64(h, v uint64) uint64 {
+	for s := uint(0); s < 64; s += 8 {
+		h ^= (v >> s) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// RunLoad drives one thread's share of the workload to completion and
+// returns its result. The caller preloads and barriers first.
+func RunLoad(t *core.Thread, tb *Table, w Workload, z *Zipf) ThreadResult {
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	rng := t.Rand()
+	tel := t.Runtime().Config().Telemetry
+	interval, slo := w.interval(), w.slo()
+	start := t.Now()
+	var res ThreadResult
+	h := uint64(fnvOffset)
+	for i := int64(0); i < w.Ops; i++ {
+		issue := t.Now()
+		if interval > 0 {
+			issue = start + sim.Time(i)*interval
+			if now := t.Now(); now < issue {
+				t.Sleep(issue - now)
+			}
+		}
+		key := ScrambleKey(z.Next(rng), w.NumKeys)
+		read := rng.Float64() < w.ReadFrac
+		var val uint64
+		var ok bool
+		if read {
+			val, ok = tb.Get(t, key)
+			if ok {
+				checkValue(key, val)
+			}
+			res.Reads++
+			if ok {
+				res.Found++
+			}
+		} else {
+			val = encodeValue(key, uint32(i))
+			ok = tb.Put(t, key, val)
+			res.Writes++
+		}
+		lat := t.Now() - issue
+		h = accountOp(&res, tel, read, key, val, ok, lat, slo, h)
+	}
+	res.Checksum = h
+	return res
+}
+
+// RunLoadC mirrors RunLoad step for step (same draw order, same
+// accounting) in continuation-passing style.
+func RunLoadC(t *core.Thread, tb *Table, w Workload, z *Zipf, then func(ThreadResult)) {
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	rng := t.Rand()
+	tel := t.Runtime().Config().Telemetry
+	interval, slo := w.interval(), w.slo()
+	start := t.Now()
+	res := new(ThreadResult)
+	h := uint64(fnvOffset)
+	var i int64
+	var iter func()
+	iter = func() {
+		if i >= w.Ops {
+			res.Checksum = h
+			then(*res)
+			return
+		}
+		issue := t.Now()
+		dispatch := func() {
+			key := ScrambleKey(z.Next(rng), w.NumKeys)
+			read := rng.Float64() < w.ReadFrac
+			if read {
+				tb.GetC(t, key, func(val uint64, ok bool) {
+					if ok {
+						checkValue(key, val)
+					}
+					res.Reads++
+					if ok {
+						res.Found++
+					}
+					lat := t.Now() - issue
+					h = accountOp(res, tel, true, key, val, ok, lat, slo, h)
+					i++
+					iter()
+				})
+				return
+			}
+			val := encodeValue(key, uint32(i))
+			tb.PutC(t, key, val, func(ok bool) {
+				res.Writes++
+				lat := t.Now() - issue
+				h = accountOp(res, tel, false, key, val, ok, lat, slo, h)
+				i++
+				iter()
+			})
+		}
+		if interval > 0 {
+			issue = start + sim.Time(i)*interval
+			if now := t.Now(); now < issue {
+				t.SleepC(issue-now, dispatch)
+				return
+			}
+		}
+		dispatch()
+	}
+	iter()
+}
+
+// accountOp folds one completed op into the result and the digest.
+func accountOp(res *ThreadResult, tel *telemetry.Telemetry, read bool, key, val uint64, ok bool, lat, slo sim.Time, h uint64) uint64 {
+	res.Ops++
+	res.LatSum += lat
+	if lat > res.LatMax {
+		res.LatMax = lat
+	}
+	if lat <= slo {
+		res.SLOMet++
+	}
+	res.Hist[bits.Len64(uint64(lat))]++
+	if read {
+		tel.Observe("xlupc_op_latency", `op="kv_get"`, lat)
+	} else {
+		tel.Observe("xlupc_op_latency", `op="kv_put"`, lat)
+	}
+	h = mix64(h, key)
+	h = mix64(h, val)
+	okw := uint64(0)
+	if ok {
+		okw = 1
+	}
+	h = mix64(h, okw)
+	return mix64(h, uint64(lat))
+}

@@ -28,6 +28,7 @@ const (
 	KindScalar Kind = iota // shared scalars, structs, unions
 	KindArray              // block-cyclically distributed shared arrays
 	KindLock               // shared locks
+	KindKV                 // sharded key-value bucket segments (internal/kv)
 )
 
 func (k Kind) String() string {
@@ -38,6 +39,8 @@ func (k Kind) String() string {
 		return "array"
 	case KindLock:
 		return "lock"
+	case KindKV:
+		return "kv"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
