@@ -8,6 +8,7 @@
 //	xlupc-micro -absolute          # Figure 7 (absolute small-message GET latency)
 //	xlupc-micro -missoverhead      # §6 miss-overhead claim
 //	xlupc-micro -coalesce          # split-phase batching vs blocking, per batch size
+//	xlupc-micro -gups              # remote-atomic GUPS figure (three protocols, both transports)
 package main
 
 import (
@@ -27,6 +28,11 @@ func main() {
 	absolute := flag.Bool("absolute", false, "emit Figure 7 (absolute latencies) instead")
 	miss := flag.Bool("missoverhead", false, "emit the miss-overhead measurement instead")
 	coalesce := flag.Bool("coalesce", false, "emit the split-phase coalescing batch-size figure instead")
+	gups := flag.Bool("gups", false, "emit the GUPS remote-atomic figure instead (GET+PUT vs split-phase vs remote-atomic)")
+	threads := flag.Int("threads", 8, "UPC threads for the GUPS figure")
+	nodes := flag.Int("nodes", 4, "cluster nodes for the GUPS figure")
+	updates := flag.Int64("updates", 96, "updates per thread for the GUPS figure")
+	words := flag.Int64("words", 256, "table words per thread for the GUPS figure")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	execFlag := flag.String("exec", "goroutine", "execution mode: goroutine or cont (figures are bit-identical; host performance differs)")
 	pf := hostprof.Register(nil)
@@ -42,6 +48,21 @@ func main() {
 	defer stopProf()
 
 	switch {
+	case *gups:
+		if err := bench.ValidateScale(*threads, *nodes); err != nil {
+			fmt.Fprintf(os.Stderr, "xlupc-micro: %v\n", err)
+			os.Exit(2)
+		}
+		if *updates <= 0 || *words <= 0 {
+			fmt.Fprintf(os.Stderr, "xlupc-micro: -updates (%d) and -words (%d) must be positive\n", *updates, *words)
+			os.Exit(2)
+		}
+		o := bench.GUPSOpts{Words: *words, Updates: *updates, Seed: *seed}
+		sc := bench.Scale{Threads: *threads, Nodes: *nodes}
+		for _, prof := range []*transport.Profile{transport.GM(), transport.LAPI()} {
+			bench.PrintGUPS(os.Stdout, prof, sc, o)
+			fmt.Println()
+		}
 	case *coalesce:
 		bench.PrintCoalesce(os.Stdout, *reps, *seed)
 	case *miss:

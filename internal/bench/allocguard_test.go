@@ -129,6 +129,34 @@ func coalesceBody(th *core.Thread, ops int) {
 	th.Barrier()
 }
 
+// atomicBody warms the address cache, then runs ops rounds of the
+// blocking remote-atomic fast path: one FetchAdd executed at the
+// target NIC per round.
+func atomicBody(th *core.Thread, ops int) {
+	a := th.AllAlloc("guard", 512, 8, 256)
+	th.Barrier()
+	if th.ID() == 0 {
+		r := a.At(256)        // node 1's block
+		_ = th.FetchAdd(r, 1) // warm: first op takes the AM path and pins the base
+		for i := 0; i < ops; i++ {
+			_ = th.FetchAdd(r, 1)
+		}
+	}
+	th.Barrier()
+}
+
+// TestAllocGuardAtomic bounds the cached remote-atomic fast path. One
+// FetchAdd is a single RDMA atomic round trip — pooled descriptor,
+// pooled packets, w64 staging — so its budget is roughly half a
+// GET+PUT round.
+func TestAllocGuardAtomic(t *testing.T) {
+	per := marginal(t, 256, guardCfg(nil), atomicBody)
+	t.Logf("cached FetchAdd: %.2f allocs", per)
+	if per > 8 {
+		t.Errorf("cached FetchAdd allocates %.2f (> 8): atomic hot path regressed", per)
+	}
+}
+
 // TestAllocGuardCoalesce bounds the coalescer flush path. Each round
 // is 8 coalesced NbGets plus a SyncAll; the bound is per round.
 func TestAllocGuardCoalesce(t *testing.T) {

@@ -101,6 +101,24 @@ func parityMatrix() []parityConfig {
 	pts = append(pts, parityConfig{"gm-coalesce-splitphase", c, p})
 
 	c = base()
+	p = dis.Default(threads)
+	p.Atomic = true
+	pts = append(pts, parityConfig{"gm-atomic-update", c, p})
+
+	c = base()
+	c.Profile = transport.LAPI()
+	p = dis.Default(threads)
+	p.Atomic = true
+	pts = append(pts, parityConfig{"lapi-atomic-update", c, p})
+
+	c = base()
+	cc = transport.DefaultCoalConfig()
+	c.Coalesce = &cc
+	p = dis.Default(threads)
+	p.Atomic, p.SplitPhase = true, true
+	pts = append(pts, parityConfig{"gm-coalesce-atomic-splitphase", c, p})
+
+	c = base()
 	c.Fault = &fault.Config{Drop: 0.01}
 	rel := transport.DefaultRelConfig()
 	c.Rel = &rel

@@ -78,7 +78,11 @@ func RunKV(o KVOpts) KVResult {
 	ko := kv.Options{Name: "kv", NumKeys: o.Keys, ReadViaAM: !o.Cached}
 	results := make([]kv.ThreadResult, cfg.Threads)
 	tables := make([]kv.Stats, cfg.Threads)
-	z := kv.NewZipf(w.NumKeys, w.Theta)
+	z, err := kv.NewZipf(w.NumKeys, w.Theta)
+	if err != nil {
+		// Unreachable after w.Validate(), which covers the same ranges.
+		panic(fmt.Sprintf("bench: %v", err))
+	}
 	var handle uint64
 	var st core.RunStats
 	if cfg.Exec == core.ExecCont {

@@ -1,89 +1,560 @@
 package core
 
+// Remote atomics (Active Access): data-centric read-modify-writes
+// executed where the data lives, never staged through the initiator.
+// On RDMA transports the hot path ships a NIC-executed descriptor —
+// one message, no target-CPU round trip, indivisible at the target
+// engine — through the same address cache, epoch guard and doorbell
+// coalescing the one-sided GET/PUT paths use. The fallback (cache
+// miss, stale epoch after a crash, deregistered region) is an active
+// message whose handler performs the combine on the target CPU and
+// piggybacks the fresh base address on the reply, so the next atomic
+// to the same object goes back to the NIC path. Three combines exist:
+// fetch-add, compare-swap, and accumulate (add with no result, the
+// tightest-batching one-message-per-update primitive).
+
 import (
+	"fmt"
+
 	"xlupc/internal/mem"
 	"xlupc/internal/sim"
+	"xlupc/internal/svd"
+	"xlupc/internal/telemetry"
 	"xlupc/internal/transport"
 )
 
-// Remote atomic operations execute as read-modify-write active
-// messages at the element's home node — the one place the update can
-// be made indivisible without locks. They never use the address-cache
-// RDMA path: the simulated NICs (like Myrinet's) move bytes but do not
-// combine them. UPC itself gained atomics only later; the runtime
-// offers them the way ARMCI-style one-sided libraries of the era did.
-
-// atomicReq asks the target to fetch-and-add at (H, Off).
-type atomicReq struct {
-	H     uint64 // svd handle key
-	Off   int64
-	Delta uint64
-	Done  *sim.Completion // completes with the previous value
-}
-
-type atomicRep struct {
-	Old  uint64
-	Done *sim.Completion
-}
-
-// atomicCPUCost models the home-side read-modify-write.
+// atomicCPUCost models a CPU-side read-modify-write (the home-node
+// fast path and the AM-fallback handler).
 const atomicCPUCost = 200 * sim.Ns
 
-// AtomicAddU64 atomically adds delta to the 8-byte element at r and
-// returns the element's previous value. Concurrent AtomicAddU64 calls
-// from any threads never lose updates (unlike a Get/Put pair, which
-// needs a Lock).
-func (t *Thread) AtomicAddU64(r Ref, delta uint64) uint64 {
-	a := r.A
-	if a.l.ElemSize != 8 {
-		panic("core: AtomicAddU64 needs 8-byte elements")
-	}
-	rn := a.l.NodeOf(r.Idx)
-	off := a.l.ChunkOffset(r.Idx)
-	prof := t.rt.cfg.Profile
-	if rn == t.ns.id {
-		// Home-node fast path: the simulation kernel runs one process
-		// at a time, so the in-place update is indivisible, exactly
-		// like a processor LL/SC pair would make it.
-		cb := t.localCB(a)
-		t.p.Sleep(prof.ShmLatency + atomicCPUCost)
-		return t.ns.fetchAdd(cb.LocalBase+mem.Addr(off), delta)
-	}
-	t.gets++ // counts as one remote round trip in the op statistics
-	done := sim.NewCompletion(t.rt.K, "atomic")
-	t.rt.M.SendAM(t.p, t.ns.id, rn, hAtomic,
-		&atomicReq{H: a.h.Key(), Off: off, Delta: delta, Done: done}, nil, 16)
-	t.p.Wait(done)
-	v := done.Value().(uint64)
-	t.rt.K.Recycle(done)
-	return v
+// atomicReq asks the target to apply Op on the 8-byte word at (H, Off)
+// and reply with the previous value — the AM fallback of the NIC path.
+type atomicReq struct {
+	H        svd.Handle
+	Off      int64
+	Op       transport.AtomicOp
+	A, B     uint64          // delta, or (expected, replacement) for CAS
+	WantAddr bool            // piggyback the base address on the reply
+	Done     *sim.Completion // completes with the previous value (uint64)
 }
 
-// fetchAdd performs the indivisible read-modify-write on this node.
-func (ns *nodeState) fetchAdd(addr mem.Addr, delta uint64) uint64 {
-	var b [8]byte
-	ns.tn.Mem.Read(b[:], addr)
-	old := byteOrder.Uint64(b[:])
-	byteOrder.PutUint64(b[:], old+delta)
-	ns.tn.Mem.Write(addr, b[:])
+// atomicRep carries the previous value plus the piggybacked base
+// address back to the initiator, exactly like getRep.
+type atomicRep struct {
+	H     svd.Handle
+	Base  mem.Addr
+	Epoch uint32
+	Old   uint64
+	Done  *sim.Completion
+	Pairs []addrPair
+}
+
+// checkAtomic validates the element for the 8-byte atomics.
+func checkAtomic(r Ref) {
+	if r.A.l.ElemSize != 8 {
+		panic(fmt.Sprintf("core: atomic op on %s with element size %d (need 8)",
+			r.A.name, r.A.l.ElemSize))
+	}
+	r.A.check(r.Idx)
+}
+
+// rmw applies op on the 8-byte word at addr on this node, indivisibly:
+// the simulation kernel runs one process at a time, so the in-place
+// update cannot interleave — exactly like a processor LL/SC pair.
+func (ns *nodeState) rmw(addr mem.Addr, op transport.AtomicOp, a, b uint64) uint64 {
+	var w [8]byte
+	ns.tn.Mem.Read(w[:], addr)
+	old := byteOrder.Uint64(w[:])
+	byteOrder.PutUint64(w[:], op.Apply(old, a, b))
+	ns.tn.Mem.Write(addr, w[:])
 	return old
 }
 
+// --- Blocking API -------------------------------------------------------
+
+// FetchAdd atomically adds delta to the 8-byte element at r and
+// returns the element's previous value. Concurrent atomics from any
+// threads never lose updates (unlike a Get/Put pair, which needs a
+// Lock). On RDMA transports with a warm address cache this is one
+// NIC-executed message.
+func (t *Thread) FetchAdd(r Ref, delta uint64) uint64 {
+	return t.atomicRMW(r, transport.AtomicFetchAdd, delta, 0)
+}
+
+// CompareSwap atomically installs swap in the 8-byte element at r iff
+// it currently equals expect, returning the previous value and whether
+// the swap happened.
+func (t *Thread) CompareSwap(r Ref, expect, swap uint64) (old uint64, swapped bool) {
+	old = t.atomicRMW(r, transport.AtomicCompareSwap, expect, swap)
+	return old, old == expect
+}
+
+// Accumulate atomically adds delta to the 8-byte element at r without
+// fetching the previous value — the response carries no data word, so
+// accumulations batch tighter than FetchAdd.
+func (t *Thread) Accumulate(r Ref, delta uint64) {
+	t.atomicRMW(r, transport.AtomicAccumulate, delta, 0)
+}
+
+// AtomicAddU64 is the historical name of FetchAdd, kept for existing
+// programs.
+func (t *Thread) AtomicAddU64(r Ref, delta uint64) uint64 {
+	return t.FetchAdd(r, delta)
+}
+
+// atomicRMW is the blocking remote-atomic driver: local fast path,
+// cache-hit NIC descriptor, NACK healing, AM fallback — the same
+// protocol ladder getRun climbs.
+func (t *Thread) atomicRMW(r Ref, op transport.AtomicOp, a1, a2 uint64) uint64 {
+	checkAtomic(r)
+	a := r.A
+	prof := t.rt.cfg.Profile
+	rn := a.l.NodeOf(r.Idx)
+	off := a.l.ChunkOffset(r.Idx)
+
+	if rn == t.ns.id {
+		// Home-node fast path: shared memory, no network.
+		cb := t.localCB(a)
+		t.p.Sleep(prof.ShmLatency + atomicCPUCost)
+		t.localAtomics++
+		return t.ns.rmw(cb.LocalBase+mem.Addr(off), op, a1, a2)
+	}
+
+	start := t.p.Now()
+	span := t.rt.tel.StartSpan("atomic", t.id, t.ns.id, start)
+	span.SetBytes(op.OperandBytes())
+	t.rt.tel.Add("xlupc_atomic_ops_total", `op="`+op.String()+`"`, 1)
+	defer func() {
+		span.Finish(t.p.Now())
+		t.atomics++
+		t.atomicTime += t.p.Now() - start
+	}()
+
+	if t.ns.cache != nil {
+		t0 := t.p.Now()
+		t.p.Sleep(prof.CacheLookupCost)
+		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
+		if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
+			span.SetProto("rdma")
+			old, nack, ok := t.rt.M.RDMAAtomicSpan(t.p, t.ns.id, rn,
+				base, base+mem.Addr(off), op, a1, a2, t.atomicFetchBuf(op), ep, span)
+			if ok {
+				return old
+			}
+			if nack.Stale {
+				// The target restarted under a new incarnation: flush every
+				// cached address for it, then fall through to the AM path,
+				// whose reply re-piggybacks the fresh base.
+				if !t.healStale(rn, nack.Epoch, "atomic", span) {
+					return 0
+				}
+				t.rt.tel.Add("xlupc_atomic_fallbacks_total", `reason="stale_epoch"`, 1)
+			} else {
+				// The target deregistered the region (limited pinning).
+				t.ns.cache.Remove(cacheKey(a.h, rn))
+				t.rt.tel.Add("xlupc_atomic_fallbacks_total", `reason="nack"`, 1)
+			}
+		}
+	}
+	span.SetProto("am")
+	return t.amAtomic(a, rn, off, op, a1, a2, span)
+}
+
+// atomicFetchBuf is the posted 8-byte result buffer of a blocking NIC
+// atomic — the thread's staging word, so fetching atomics allocate
+// nothing; accumulations post none.
+func (t *Thread) atomicFetchBuf(op transport.AtomicOp) []byte {
+	if op.ResultBytes() == 0 {
+		return nil
+	}
+	return t.w64[:]
+}
+
+// amAtomic is the active-message atomic: the handler combines on the
+// target CPU and replies with the previous value.
+func (t *Thread) amAtomic(a *SharedArray, rn int, off int64, op transport.AtomicOp, a1, a2 uint64, span *telemetry.Span) uint64 {
+	done := sim.NewCompletion(t.rt.K, "atomic")
+	t.rt.M.SendAMSpan(t.p, t.ns.id, rn, hAtomic,
+		&atomicReq{H: a.h, Off: off, Op: op, A: a1, B: a2, WantAddr: t.ns.cache != nil, Done: done},
+		nil, op.OperandBytes(), span)
+	t.p.Wait(done)
+	old := done.Value().(uint64)
+	t.rt.K.Recycle(done)
+	return old
+}
+
+// --- Continuation-mode twins (mirror the blocking API step for step) ----
+
+// FetchAddC is Thread.FetchAdd in continuation-passing style.
+func (t *Thread) FetchAddC(r Ref, delta uint64, then func(old uint64)) {
+	t.atomicRMWC(r, transport.AtomicFetchAdd, delta, 0, then)
+}
+
+// CompareSwapC is Thread.CompareSwap in continuation-passing style.
+func (t *Thread) CompareSwapC(r Ref, expect, swap uint64, then func(old uint64, swapped bool)) {
+	t.atomicRMWC(r, transport.AtomicCompareSwap, expect, swap, func(old uint64) {
+		then(old, old == expect)
+	})
+}
+
+// AccumulateC is Thread.Accumulate in continuation-passing style.
+func (t *Thread) AccumulateC(r Ref, delta uint64, then func()) {
+	t.atomicRMWC(r, transport.AtomicAccumulate, delta, 0, func(uint64) { then() })
+}
+
+// atomicRMWC is atomicRMW in continuation-passing style. The hot paths
+// (local, cache-hit NIC) run on the thread's pre-bound op state so
+// they build no closures; the rare fallbacks may.
+func (t *Thread) atomicRMWC(r Ref, op transport.AtomicOp, a1, a2 uint64, then func(old uint64)) {
+	checkAtomic(r)
+	a := r.A
+	prof := t.rt.cfg.Profile
+	rn := a.l.NodeOf(r.Idx)
+	off := a.l.ChunkOffset(r.Idx)
+
+	if rn == t.ns.id {
+		if cb, ok := t.localCBFast(a); ok {
+			t.localAtomicDoC(cb, off, op, a1, a2, then)
+			return
+		}
+		t.localCBC(a, func(cb *svd.ControlBlock) { t.localAtomicDoC(cb, off, op, a1, a2, then) })
+		return
+	}
+
+	start := t.Now()
+	span := t.rt.tel.StartSpan("atomic", t.id, t.ns.id, start)
+	span.SetBytes(op.OperandBytes())
+	t.rt.tel.Add("xlupc_atomic_ops_total", `op="`+op.String()+`"`, 1)
+	o := t.ops()
+	o.aa, o.arn, o.aoff, o.aop, o.aarg1, o.aarg2 = a, rn, off, op, a1, a2
+	o.aspan, o.astart, o.athen = span, start, then
+
+	if t.ns.cache != nil {
+		o.at0 = t.Now()
+		t.c.Sleep(prof.CacheLookupCost, o.aLookupFn)
+		return
+	}
+	span.SetProto("am")
+	t.amAtomicC(a, rn, off, op, a1, a2, span, o.aFinishFn)
+}
+
+// localAtomicDoC performs a home-node atomic against a resolved control
+// block — zero closures: the post-sleep step is pre-bound.
+func (t *Thread) localAtomicDoC(cb *svd.ControlBlock, off int64, op transport.AtomicOp, a1, a2 uint64, then func(old uint64)) {
+	prof := t.rt.cfg.Profile
+	o := t.ops()
+	o.zaddr, o.zop, o.za1, o.za2, o.zthen = cb.LocalBase+mem.Addr(off), op, a1, a2, then
+	t.c.Sleep(prof.ShmLatency+atomicCPUCost, o.zFn)
+}
+
+// amAtomicC is amAtomic in continuation-passing style.
+func (t *Thread) amAtomicC(a *SharedArray, rn int, off int64, op transport.AtomicOp, a1, a2 uint64, span *telemetry.Span, then func(old uint64)) {
+	done := sim.NewCompletion(t.rt.K, "atomic")
+	t.rt.M.SendAMSpanC(t.c, t.ns.id, rn, hAtomic,
+		&atomicReq{H: a.h, Off: off, Op: op, A: a1, B: a2, WantAddr: t.ns.cache != nil, Done: done},
+		nil, op.OperandBytes(), span, func() {
+			done.WaitC(t.c, func(v any) {
+				old := v.(uint64)
+				t.rt.K.Recycle(done)
+				then(old)
+			})
+		})
+}
+
+// --- Split-phase atomics (mirror nbio.go) -------------------------------
+
+// NbFetchAdd starts a split-phase fetch-add on the 8-byte element at
+// r: the previous value is stored into *out when the handle retires
+// (Sync, a fence or a barrier). With coalescing enabled, batched
+// atomics to one destination share a single doorbell frame.
+func (t *Thread) NbFetchAdd(r Ref, delta uint64, out *uint64) Handle {
+	return t.nbAtomic(r, transport.AtomicFetchAdd, delta, 0, out)
+}
+
+// NbAccumulate starts a split-phase accumulate (add, no result) on the
+// 8-byte element at r — the one-message-per-update primitive of the
+// RandomAccess/GUPS pattern.
+func (t *Thread) NbAccumulate(r Ref, delta uint64) Handle {
+	return t.nbAtomic(r, transport.AtomicAccumulate, delta, 0, nil)
+}
+
+func (t *Thread) nbAtomic(r Ref, op transport.AtomicOp, a1, a2 uint64, out *uint64) Handle {
+	nb := t.newNbOp()
+	t.nbAtomicRun(nb, r, op, a1, a2, out)
+	if len(nb.subs) == 0 {
+		t.freeNbOp(nb)
+		return Handle{} // local: the combine already happened
+	}
+	t.nbOut = append(t.nbOut, nb)
+	return Handle{op: nb, gen: nb.gen}
+}
+
+// nbAtomicRun issues one split-phase atomic: local combines complete
+// at issue, remote ones go NIC-descriptor (cache hit) or coalesced AM
+// without waiting. NACK healing happens at retire, inside Sync, where
+// blocking is the semantics.
+func (t *Thread) nbAtomicRun(nb *nbOp, r Ref, aop transport.AtomicOp, a1, a2 uint64, out *uint64) {
+	checkAtomic(r)
+	a := r.A
+	prof := t.rt.cfg.Profile
+	rn := a.l.NodeOf(r.Idx)
+	off := a.l.ChunkOffset(r.Idx)
+	start := t.p.Now()
+
+	if rn == t.ns.id {
+		cb := t.localCB(a)
+		t.p.Sleep(prof.ShmLatency + atomicCPUCost)
+		t.localAtomics++
+		old := t.ns.rmw(cb.LocalBase+mem.Addr(off), aop, a1, a2)
+		if out != nil {
+			*out = old
+		}
+		return
+	}
+
+	span := t.rt.tel.StartSpan("atomic", t.id, t.ns.id, start)
+	span.SetBytes(aop.OperandBytes())
+	t.rt.tel.Add("xlupc_atomic_ops_total", `op="`+aop.String()+`"`, 1)
+	finish := func() {
+		span.Finish(t.p.Now())
+		t.atomics++
+		t.atomicTime += t.p.Now() - start
+	}
+
+	if t.ns.cache != nil {
+		t0 := t.p.Now()
+		t.p.Sleep(prof.CacheLookupCost)
+		span.Phase(telemetry.PhaseCacheLookup, t0, t.p.Now())
+		if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
+			span.SetProto("rdma")
+			// Split-phase fetches need a result buffer that outlives the
+			// issue; the thread's staging word would alias across
+			// outstanding handles.
+			var fetch []byte
+			if aop.ResultBytes() > 0 {
+				fetch = make([]byte, 8)
+			}
+			res := t.rt.M.RDMAAtomicStart(t.p, t.ns.id, rn,
+				base, base+mem.Addr(off), aop, a1, a2, fetch, ep, span)
+			nb.subs = append(nb.subs, nbSub{done: res, fin: func() {
+				val := res.Value()
+				data := res.Bytes()
+				t.rt.K.Recycle(res)
+				if nk, nack := val.(transport.Nack); nack {
+					// Redo over the AM path, synchronously — we are already
+					// inside Sync, so blocking here is the semantics.
+					if nk.Stale {
+						if !t.healStale(rn, nk.Epoch, "atomic", span) {
+							finish()
+							return
+						}
+						t.rt.tel.Add("xlupc_atomic_fallbacks_total", `reason="stale_epoch"`, 1)
+					} else {
+						t.ns.cache.Remove(cacheKey(a.h, rn))
+						t.rt.tel.Add("xlupc_atomic_fallbacks_total", `reason="nack"`, 1)
+					}
+					span.SetProto("am")
+					old := t.amAtomic(a, rn, off, aop, a1, a2, span)
+					if out != nil {
+						*out = old
+					}
+				} else if out != nil && data != nil {
+					*out = byteOrder.Uint64(data)
+				}
+				finish()
+			}})
+			return
+		}
+	}
+	span.SetProto("am")
+	done := sim.NewCompletion(t.rt.K, "atomic")
+	t.rt.M.SendAMCoalesced(t.p, t.ns.id, rn, hAtomic,
+		&atomicReq{H: a.h, Off: off, Op: aop, A: a1, B: a2, WantAddr: t.ns.cache != nil, Done: done},
+		nil, aop.OperandBytes(), span)
+	nb.subs = append(nb.subs, nbSub{done: done, fin: func() {
+		if out != nil {
+			*out = done.Value().(uint64)
+		}
+		t.rt.K.Recycle(done)
+		finish()
+	}})
+}
+
+// NbFetchAddC is Thread.NbFetchAdd in continuation-passing style.
+func (t *Thread) NbFetchAddC(r Ref, delta uint64, out *uint64, then func(h Handle)) {
+	t.nbAtomicC(r, transport.AtomicFetchAdd, delta, 0, out, then)
+}
+
+// NbAccumulateC is Thread.NbAccumulate in continuation-passing style.
+func (t *Thread) NbAccumulateC(r Ref, delta uint64, then func(h Handle)) {
+	t.nbAtomicC(r, transport.AtomicAccumulate, delta, 0, nil, then)
+}
+
+func (t *Thread) nbAtomicC(r Ref, op transport.AtomicOp, a1, a2 uint64, out *uint64, then func(h Handle)) {
+	nb := t.newNbOp()
+	t.nbAtomicRunC(nb, r, op, a1, a2, out, func() {
+		if len(nb.subs) == 0 {
+			t.freeNbOp(nb)
+			then(Handle{})
+			return
+		}
+		t.nbOut = append(t.nbOut, nb)
+		then(Handle{op: nb, gen: nb.gen})
+	})
+}
+
+// nbAtomicRunC mirrors nbAtomicRun step for step; the NACK fallback at
+// retire carries the continuation (finC), like nbGetRunC.
+func (t *Thread) nbAtomicRunC(nb *nbOp, r Ref, aop transport.AtomicOp, a1, a2 uint64, out *uint64, then func()) {
+	checkAtomic(r)
+	a := r.A
+	prof := t.rt.cfg.Profile
+	rn := a.l.NodeOf(r.Idx)
+	off := a.l.ChunkOffset(r.Idx)
+	start := t.Now()
+
+	if rn == t.ns.id {
+		resolved := func(cb *svd.ControlBlock) {
+			t.c.Sleep(prof.ShmLatency+atomicCPUCost, func() {
+				t.localAtomics++
+				old := t.ns.rmw(cb.LocalBase+mem.Addr(off), aop, a1, a2)
+				if out != nil {
+					*out = old
+				}
+				then()
+			})
+		}
+		if cb, ok := t.localCBFast(a); ok {
+			resolved(cb)
+			return
+		}
+		t.localCBC(a, resolved)
+		return
+	}
+
+	span := t.rt.tel.StartSpan("atomic", t.id, t.ns.id, start)
+	span.SetBytes(aop.OperandBytes())
+	t.rt.tel.Add("xlupc_atomic_ops_total", `op="`+aop.String()+`"`, 1)
+	finish := func(fin func()) {
+		span.Finish(t.Now())
+		t.atomics++
+		t.atomicTime += t.Now() - start
+		fin()
+	}
+
+	issueAM := func() {
+		span.SetProto("am")
+		done := sim.NewCompletion(t.rt.K, "atomic")
+		t.rt.M.SendAMCoalescedC(t.c, t.ns.id, rn, hAtomic,
+			&atomicReq{H: a.h, Off: off, Op: aop, A: a1, B: a2, WantAddr: t.ns.cache != nil, Done: done},
+			nil, aop.OperandBytes(), span, func() {
+				nb.subs = append(nb.subs, nbSub{done: done, finC: func(fin func()) {
+					if out != nil {
+						*out = done.Value().(uint64)
+					}
+					t.rt.K.Recycle(done)
+					finish(fin)
+				}})
+				then()
+			})
+	}
+
+	if t.ns.cache != nil {
+		t0 := t.Now()
+		t.c.Sleep(prof.CacheLookupCost, func() {
+			span.Phase(telemetry.PhaseCacheLookup, t0, t.Now())
+			if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(a.h, rn)); hit {
+				span.SetProto("rdma")
+				var fetch []byte
+				if aop.ResultBytes() > 0 {
+					fetch = make([]byte, 8)
+				}
+				t.rt.M.RDMAAtomicStartC(t.c, t.ns.id, rn,
+					base, base+mem.Addr(off), aop, a1, a2, fetch, ep, span,
+					func(res *sim.Completion) {
+						nb.subs = append(nb.subs, nbSub{done: res, finC: func(fin func()) {
+							val := res.Value()
+							data := res.Bytes()
+							t.rt.K.Recycle(res)
+							if nk, nack := val.(transport.Nack); nack {
+								// Redo over the AM path — the retire itself
+								// carries the continuation.
+								retry := func() {
+									span.SetProto("am")
+									t.amAtomicC(a, rn, off, aop, a1, a2, span, func(old uint64) {
+										if out != nil {
+											*out = old
+										}
+										finish(fin)
+									})
+								}
+								if nk.Stale {
+									t.healStaleC(rn, nk.Epoch, "atomic", span, func(cont bool) {
+										if !cont {
+											finish(fin)
+											return
+										}
+										t.rt.tel.Add("xlupc_atomic_fallbacks_total", `reason="stale_epoch"`, 1)
+										retry()
+									})
+									return
+								}
+								t.ns.cache.Remove(cacheKey(a.h, rn))
+								t.rt.tel.Add("xlupc_atomic_fallbacks_total", `reason="nack"`, 1)
+								retry()
+								return
+							}
+							if out != nil && data != nil {
+								*out = byteOrder.Uint64(data)
+							}
+							finish(fin)
+						}})
+						then()
+					})
+				return
+			}
+			issueAM()
+		})
+		return
+	}
+	issueAM()
+}
+
+// --- Target-side handlers ----------------------------------------------
+
+// handleAtomic mirrors handleGetReq: resolve, optionally pin and
+// advertise, combine on the target CPU, and reply with the previous
+// value plus the piggybacked base — so an AM-fallback atomic repairs
+// the initiator's cache and later atomics return to the NIC path.
 func (rt *Runtime) handleAtomic(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
 	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*atomicReq)
-	cb, requeued := ns.resolve(p, handleFromKey(m.H), msg)
+	t0 := p.Now()
+	cb, requeued := ns.resolve(p, m.H, msg)
 	if requeued {
 		return
+	}
+	msg.Span.Phase(telemetry.PhaseSVDResolve, t0, p.Now())
+	var base mem.Addr
+	var epoch uint32
+	if m.WantAddr {
+		t0 = p.Now()
+		base, epoch = ns.pinChunk(p, cb)
+		msg.Span.Phase(telemetry.PhaseRegistration, t0, p.Now())
 	}
 	// Charge the cost first, then update in one indivisible step so
 	// parallel handler contexts (LAPI) cannot interleave mid-RMW.
 	p.Sleep(atomicCPUCost)
-	old := ns.fetchAdd(cb.LocalBase+mem.Addr(m.Off), m.Delta)
-	rt.M.ReplyAM(p, n.ID, msg.Src, hAtomicRep, &atomicRep{Old: old, Done: m.Done}, nil, 8)
+	old := ns.rmw(cb.LocalBase+mem.Addr(m.Off), m.Op, m.A, m.B)
+	pairs, extra := pairsFor(msg, m.H, base, epoch)
+	rt.M.ReplyToSpan(p, msg, hAtomicRep,
+		&atomicRep{H: m.H, Base: base, Epoch: epoch, Old: old, Done: m.Done, Pairs: pairs},
+		nil, m.Op.ResultBytes()+extra, msg.Span)
 }
 
 func (rt *Runtime) handleAtomicRep(p *sim.Proc, n *transport.Node, msg *transport.Msg) {
+	ns := rt.nodes[n.ID]
 	m := msg.Meta.(*atomicRep)
+	rt.insertPiggyback(p, ns, msg.Src, m.H, m.Base, m.Epoch, m.Pairs, msg.Span)
 	m.Done.Complete(m.Old)
 }

@@ -76,6 +76,29 @@ type contOps struct {
 	// GetUint64C wrapper: the pending value callback.
 	u64then func(v uint64)
 	u64Fn   func()
+
+	// Remote atomic in flight (atomic.go).
+	aa        *SharedArray
+	arn       int
+	aoff      int64
+	aop       transport.AtomicOp
+	aarg1     uint64
+	aarg2     uint64
+	aspan     *telemetry.Span
+	astart    sim.Time
+	at0       sim.Time
+	athen     func(old uint64)
+	aLookupFn func()
+	aRdmaFn   func(old uint64, nack transport.Nack, ok bool)
+	aFinishFn func(old uint64)
+
+	// Local atomic in flight.
+	zaddr mem.Addr
+	zop   transport.AtomicOp
+	za1   uint64
+	za2   uint64
+	zthen func(old uint64)
+	zFn   func()
 }
 
 // ops returns the thread's op state, building the pre-bound step funcs
@@ -96,6 +119,10 @@ func (t *Thread) ops() *contOps {
 		o.uSendFn = o.userSent
 		o.uDoneFn = o.userDone
 		o.u64Fn = o.u64Done
+		o.aLookupFn = o.atomicLookup
+		o.aRdmaFn = o.atomicRDMADone
+		o.aFinishFn = o.atomicFinish
+		o.zFn = o.localAtomicDone
 		t.cops = o
 	}
 	return t.cops
@@ -259,4 +286,70 @@ func (o *contOps) u64Done() {
 	then := o.u64then
 	o.u64then = nil
 	then(byteOrder.Uint64(o.t.w64[:]))
+}
+
+// --- Remote atomic (mirror atomicRMW in atomic.go) ----------------------
+
+// atomicLookup runs after the cache-lookup cost: hit goes
+// NIC-descriptor, miss falls through to the AM path.
+func (o *contOps) atomicLookup() {
+	t := o.t
+	o.aspan.Phase(telemetry.PhaseCacheLookup, o.at0, t.Now())
+	if base, ep, hit := t.ns.cache.LookupEpoch(cacheKey(o.aa.h, o.arn)); hit {
+		o.aspan.SetProto("rdma")
+		t.rt.M.RDMAAtomicSpanC(t.c, t.ns.id, o.arn, base, base+mem.Addr(o.aoff),
+			o.aop, o.aarg1, o.aarg2, t.atomicFetchBuf(o.aop), ep, o.aspan, o.aRdmaFn)
+		return
+	}
+	o.aspan.SetProto("am")
+	t.amAtomicC(o.aa, o.arn, o.aoff, o.aop, o.aarg1, o.aarg2, o.aspan, o.aFinishFn)
+}
+
+// atomicRDMADone finishes a cache-hit NIC atomic, or falls back on a
+// NACK exactly like the blocking twin.
+func (o *contOps) atomicRDMADone(old uint64, nack transport.Nack, ok bool) {
+	t := o.t
+	if ok {
+		o.atomicFinish(old)
+		return
+	}
+	if nack.Stale {
+		a, rn, off, span := o.aa, o.arn, o.aoff, o.aspan
+		op, a1, a2 := o.aop, o.aarg1, o.aarg2
+		t.healStaleC(rn, nack.Epoch, "atomic", span, func(cont bool) {
+			if !cont {
+				o.atomicFinish(0)
+				return
+			}
+			t.rt.tel.Add("xlupc_atomic_fallbacks_total", `reason="stale_epoch"`, 1)
+			span.SetProto("am")
+			t.amAtomicC(a, rn, off, op, a1, a2, span, o.aFinishFn)
+		})
+		return
+	}
+	t.ns.cache.Remove(cacheKey(o.aa.h, o.arn))
+	t.rt.tel.Add("xlupc_atomic_fallbacks_total", `reason="nack"`, 1)
+	o.aspan.SetProto("am")
+	t.amAtomicC(o.aa, o.arn, o.aoff, o.aop, o.aarg1, o.aarg2, o.aspan, o.aFinishFn)
+}
+
+// atomicFinish closes out the remote atomic: span, counters, then the
+// caller's continuation.
+func (o *contOps) atomicFinish(old uint64) {
+	t := o.t
+	span, start, then := o.aspan, o.astart, o.athen
+	o.aa, o.aspan, o.athen = nil, nil, nil
+	span.Finish(t.Now())
+	t.atomics++
+	t.atomicTime += t.Now() - start
+	then(old)
+}
+
+// localAtomicDone is the post-sleep step of a home-node atomic.
+func (o *contOps) localAtomicDone() {
+	t := o.t
+	addr, op, a1, a2, then := o.zaddr, o.zop, o.za1, o.za2, o.zthen
+	o.zthen = nil
+	t.localAtomics++
+	then(t.ns.rmw(addr, op, a1, a2))
 }

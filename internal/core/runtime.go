@@ -56,6 +56,9 @@ type Runtime struct {
 	// userHandlers is the user-level AM dispatch table (useram.go).
 	userHandlers [maxUserHandlers]UserHandler
 
+	// runLocal holds run-scoped host-side singletons (see RunLocal).
+	runLocal map[string]any
+
 	// Crash orchestration (all zero-valued when cfg.Crash is nil).
 	crashTimers      []*sim.Timer // pending scheduled crashes
 	liveBodies       int          // program threads still running
@@ -294,6 +297,11 @@ type RunStats struct {
 	LocalGets, LocalPuts int64
 	GetTime, PutTime     sim.Time
 
+	// Remote atomics (all zero when no atomic was issued).
+	AtomicOps    int64    // remote atomic operations (NIC or AM path)
+	LocalAtomics int64    // home-node atomic fast-path operations
+	AtomicTime   sim.Time // initiator time blocked in remote atomics
+
 	// Pinned address table usage.
 	PinnedPeak   []int    // per node high-water mark of pinned entries
 	Pins         int64    // registrations performed, all nodes
@@ -382,6 +390,9 @@ func (rt *Runtime) stats() RunStats {
 		st.LocalPuts += th.localPuts
 		st.GetTime += th.getTime
 		st.PutTime += th.putTime
+		st.AtomicOps += th.atomics
+		st.LocalAtomics += th.localAtomics
+		st.AtomicTime += th.atomicTime
 	}
 	rt.syncRegistry(st)
 	return st
@@ -424,6 +435,14 @@ func (rt *Runtime) syncRegistry(st RunStats) {
 		tel.Add("xlupc_crash_parked_retx_total", "", st.ParkedRetx)
 		tel.Add("xlupc_crash_recovered_total", "", st.Recovered)
 		tel.Set("xlupc_crash_recovery_seconds", "", st.RecoveryTime.Secs())
+	}
+	// Atomic aggregates likewise only exist once an atomic was issued
+	// (the per-op xlupc_atomic_ops_total counters appear at issue time),
+	// so exporter output for atomic-free runs stays identical.
+	if st.AtomicOps+st.LocalAtomics > 0 {
+		tel.Add("xlupc_atomic_remote_total", "", st.AtomicOps)
+		tel.Add("xlupc_atomic_local_total", "", st.LocalAtomics)
+		tel.Set("xlupc_atomic_blocked_seconds", "", st.AtomicTime.Secs())
 	}
 	for _, ns := range rt.nodes {
 		node := `node="` + strconv.Itoa(ns.id) + `"`
@@ -498,8 +517,23 @@ func (rt *Runtime) registerHandlers() {
 	rt.M.Handle(hUserRep, rt.handleUserRep)
 }
 
-// handleFromKey rebuilds an svd.Handle from its packed key.
-func handleFromKey(k uint64) svd.Handle { return svd.HandleFromKey(k) }
+// RunLocal returns the run-scoped host-side singleton under key,
+// building it on first use — shared pre-computation (e.g. a partition
+// of a key space) that every thread would otherwise redo. Host-side
+// only: building costs no virtual time, so anything with simulated
+// cost belongs in the threads, not here. Race-free by construction:
+// the kernel runs one process at a time.
+func (rt *Runtime) RunLocal(key string, build func() any) any {
+	if rt.runLocal == nil {
+		rt.runLocal = make(map[string]any)
+	}
+	v, ok := rt.runLocal[key]
+	if !ok {
+		v = build()
+		rt.runLocal[key] = v
+	}
+	return v
+}
 
 // resolve looks a handle up in node ns's SVD replica from within an AM
 // handler. If the handle is not yet known (its allocation notification

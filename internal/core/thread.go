@@ -49,9 +49,11 @@ type Thread struct {
 	cops *contOps
 
 	// Counters for RunStats.
-	gets, puts           int64
-	localGets, localPuts int64
-	getTime, putTime     sim.Time
+	gets, puts            int64
+	localGets, localPuts  int64
+	atomics, localAtomics int64
+	getTime, putTime      sim.Time
+	atomicTime            sim.Time
 }
 
 func newThread(rt *Runtime, id int) *Thread {

@@ -142,6 +142,12 @@ func updateHops(t *core.Thread, p Params, a *core.SharedArray, done func(uint64)
 		var nextv uint64
 		afterReads := func() {
 			t.ComputeC(p.UpdateHopCompute, func() {
+				if p.Atomic {
+					// The successor write is fused into the FetchAdd.
+					pos = int64(nextv)
+					nextHop()
+					return
+				}
 				// Update one location, preserving the successor structure.
 				t.PutUint64C(a.At(pos), nextv, func() {
 					pos = int64(nextv)
@@ -149,7 +155,49 @@ func updateHops(t *core.Thread, p Params, a *core.SharedArray, done func(uint64)
 				})
 			})
 		}
-		if p.SplitPhase {
+		switch {
+		case p.Atomic && p.SplitPhase:
+			// One-message RMW, split-phase (mirrors the blocking build).
+			t.NbFetchAddC(a.At(pos), 0, &nextv, func(core.Handle) {
+				r := 1
+				sim.Loop(func(nextIssue func()) {
+					if r == p.UpdateReads {
+						t.SyncAllC(func() {
+							check ^= nextv
+							for rr := 1; rr < p.UpdateReads; rr++ {
+								check ^= byteOrder.Uint64(bufs[rr][:]) + uint64(rr)
+							}
+							afterReads()
+						})
+						return
+					}
+					rr := r
+					r++
+					at := (pos + int64(rr)*97) % n
+					t.NbGetC(bufs[rr][:], a.At(at), func(core.Handle) { nextIssue() })
+				})
+			})
+		case p.Atomic:
+			// One-message RMW: FetchAdd(pos, 0), then the remaining reads.
+			t.FetchAddC(a.At(pos), 0, func(v uint64) {
+				nextv = v
+				check ^= v
+				r := 1
+				sim.Loop(func(nextRead func()) {
+					if r == p.UpdateReads {
+						afterReads()
+						return
+					}
+					rr := r
+					r++
+					at := (pos + int64(rr)*97) % n
+					t.GetUint64C(a.At(at), func(v uint64) {
+						check ^= v + uint64(rr)
+						nextRead()
+					})
+				})
+			})
+		case p.SplitPhase:
 			r := 0
 			sim.Loop(func(nextIssue func()) {
 				if r == p.UpdateReads {
@@ -170,25 +218,25 @@ func updateHops(t *core.Thread, p Params, a *core.SharedArray, done func(uint64)
 				at := (pos + int64(rr)*97) % n
 				t.NbGetC(bufs[rr][:], a.At(at), func(core.Handle) { nextIssue() })
 			})
-			return
-		}
-		r := 0
-		sim.Loop(func(nextRead func()) {
-			if r == p.UpdateReads {
-				afterReads()
-				return
-			}
-			rr := r
-			r++
-			at := (pos + int64(rr)*97) % n
-			t.GetUint64C(a.At(at), func(v uint64) {
-				if rr == 0 {
-					nextv = v
+		default:
+			r := 0
+			sim.Loop(func(nextRead func()) {
+				if r == p.UpdateReads {
+					afterReads()
+					return
 				}
-				check ^= v + uint64(rr)
-				nextRead()
+				rr := r
+				r++
+				at := (pos + int64(rr)*97) % n
+				t.GetUint64C(a.At(at), func(v uint64) {
+					if rr == 0 {
+						nextv = v
+					}
+					check ^= v + uint64(rr)
+					nextRead()
+				})
 			})
-		})
+		}
 	})
 }
 

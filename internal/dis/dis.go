@@ -72,6 +72,16 @@ type Params struct {
 	// by default so golden runs match the blocking build bit for bit.
 	SplitPhase bool
 
+	// Atomic routes Update's read-modify-write hop through the remote
+	// atomic op class: the r==0 read and the trailing successor write
+	// collapse into one FetchAdd(pos, 0) executed at the target — one
+	// message per update instead of a GET+compute+PUT round trip. The
+	// fetch returns exactly the word the GET did and adding zero leaves
+	// memory bit-identical, so checksums match the other builds by
+	// construction. Composes with SplitPhase (NbFetchAdd issued
+	// alongside the hop's other reads, retired by one SyncAll).
+	Atomic bool
+
 	// Salt perturbs the deterministic workload generators, giving
 	// independent replications for confidence intervals while staying
 	// reproducible. The default (0) matches the figures.

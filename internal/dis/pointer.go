@@ -75,7 +75,33 @@ func Update(t *core.Thread, p Params) uint64 {
 		bufs := make([][8]byte, p.UpdateReads)
 		for h := 0; h < p.UpdateHops; h++ {
 			var next uint64
-			if p.SplitPhase {
+			switch {
+			case p.Atomic && p.SplitPhase:
+				// One-message RMW, split-phase: the r==0 read and the
+				// trailing successor write fuse into NbFetchAdd(pos, 0),
+				// issued alongside the hop's other reads so the batch
+				// coalesces per destination and retires with one sync.
+				t.NbFetchAdd(a.At(pos), 0, &next)
+				for r := 1; r < p.UpdateReads; r++ {
+					at := (pos + int64(r)*97) % n
+					t.NbGet(bufs[r][:], a.At(at))
+				}
+				t.SyncAll()
+				check ^= next
+				for r := 1; r < p.UpdateReads; r++ {
+					check ^= byteOrder.Uint64(bufs[r][:]) + uint64(r)
+				}
+			case p.Atomic:
+				// One-message RMW: FetchAdd(pos, 0) returns the word the
+				// GET did and leaves memory bit-identical to the GET+PUT
+				// build (the update writes back the value it read).
+				next = t.FetchAdd(a.At(pos), 0)
+				check ^= next
+				for r := 1; r < p.UpdateReads; r++ {
+					at := (pos + int64(r)*97) % n
+					check ^= t.GetUint64(a.At(at)) + uint64(r)
+				}
+			case p.SplitPhase:
 				// Issue the hop's reads together and retire them with one
 				// sync: with coalescing on they share a wire frame.
 				for r := 0; r < p.UpdateReads; r++ {
@@ -90,7 +116,7 @@ func Update(t *core.Thread, p Params) uint64 {
 					}
 					check ^= v + uint64(r)
 				}
-			} else {
+			default:
 				for r := 0; r < p.UpdateReads; r++ {
 					at := (pos + int64(r)*97) % n
 					v := t.GetUint64(a.At(at))
@@ -101,9 +127,11 @@ func Update(t *core.Thread, p Params) uint64 {
 				}
 			}
 			t.Compute(p.UpdateHopCompute)
-			// Update one location, preserving the successor structure
-			// so reruns (and cache-on/off runs) traverse identically.
-			t.PutUint64(a.At(pos), next)
+			if !p.Atomic {
+				// Update one location, preserving the successor structure
+				// so reruns (and cache-on/off runs) traverse identically.
+				t.PutUint64(a.At(pos), next)
+			}
 			pos = int64(next)
 		}
 		t.Fence()

@@ -50,6 +50,7 @@ const (
 	KindPinEvict                // pin-table LRU deregistration
 	KindCrash                   // node taken down (epoch bumped)
 	KindRestart                 // restart confirmed by a post-restart RDMA op
+	KindAtomic                  // NIC-executed atomic applied at the target
 	kindCount
 )
 
@@ -76,6 +77,7 @@ var kindNames = [kindCount]string{
 	KindPinEvict:    "pin_evict",
 	KindCrash:       "crash",
 	KindRestart:     "restart",
+	KindAtomic:      "atomic",
 }
 
 func (k Kind) String() string {

@@ -106,6 +106,7 @@ type Options struct {
 // Table instance, so counters need no synchronization).
 type Stats struct {
 	Gets, Puts, Deletes int64
+	Incrs               int64 // read-modify-writes shipped as remote atomics
 	LocalOps, RemoteOps int64
 	Found, Misses       int64
 	TornRetries         int64 // remote reads that saw an odd sequence and retried via AM
@@ -120,6 +121,7 @@ func (s *Stats) Add(o Stats) {
 	s.Gets += o.Gets
 	s.Puts += o.Puts
 	s.Deletes += o.Deletes
+	s.Incrs += o.Incrs
 	s.LocalOps += o.LocalOps
 	s.RemoteOps += o.RemoteOps
 	s.Found += o.Found
@@ -177,6 +179,12 @@ type Table struct {
 	line [bucketBytes]byte // bucket-line scratch (one op in flight per thread)
 	rep  [8]byte           // AM reply scratch
 	w    [16]byte          // slot staging for writes
+
+	// loc memoizes key→slot for the Incr path (thread-private, like
+	// Stats). Valid only under Incr's stable-residency assumption: the
+	// memoized keys are never deleted, so a slot, once found, stays put
+	// (puts update in place).
+	loc map[uint64]slotRef
 }
 
 // normalize fills Options defaults and derives the geometry.
@@ -687,6 +695,151 @@ func (tb *Table) directDeleteC(t *core.Thread, key uint64, then func(ok bool)) {
 			})
 		})
 	})
+}
+
+// --- Increment path (remote atomics) -------------------------------------
+
+// valueIdx is the global element index of slot tgt's value word (the
+// line's seq word, then (key, value) pairs: key at 1+2s, value at
+// 2+2s).
+func valueIdx(tgt slotRef) int64 { return tgt.line + int64(2+2*tgt.slot) }
+
+// Incr atomically adds delta to key's value word with one FetchAdd
+// executed at the home node — a single message instead of the
+// GET+compute+PUT round trip — returning the pre-add value and whether
+// the key was present. The slot is located with a probe read on first
+// use and memoized thread-locally, so a hot counter costs exactly one
+// atomic per Incr. This rides on a stable-residency assumption: keys
+// Incr touches must never be deleted (a tombstoned slot can be reused
+// by a different key, and a memoized reference would then adjust the
+// wrong value) — counter tables that never Delete satisfy it by
+// construction. Concurrent Incrs to one key never lose updates (the
+// add is indivisible at the target); racing Incr with Put on the same
+// key is the caller's bug, exactly as it would be in the native
+// runtime. The raw add does not preserve the load generator's
+// key-echo value encoding, so Incr tables are not checkValue tables.
+func (tb *Table) Incr(t *core.Thread, key, delta uint64) (uint64, bool) {
+	checkKey(key)
+	tb.Stats.Incrs++
+	if tb.HomeNode(key) == t.Node() {
+		tb.Stats.LocalOps++
+	} else {
+		tb.Stats.RemoteOps++
+	}
+	ref, ok := tb.locate(t, key)
+	if !ok {
+		tb.Stats.Misses++
+		return 0, false
+	}
+	return t.FetchAdd(tb.a.At(valueIdx(ref)), delta), true
+}
+
+// IncrC mirrors Incr.
+func (tb *Table) IncrC(t *core.Thread, key, delta uint64, then func(old uint64, ok bool)) {
+	checkKey(key)
+	tb.Stats.Incrs++
+	if tb.HomeNode(key) == t.Node() {
+		tb.Stats.LocalOps++
+	} else {
+		tb.Stats.RemoteOps++
+	}
+	tb.locateC(t, key, func(ref slotRef, ok bool) {
+		if !ok {
+			tb.Stats.Misses++
+			then(0, false)
+			return
+		}
+		t.FetchAddC(tb.a.At(valueIdx(ref)), delta, func(old uint64) { then(old, true) })
+	})
+}
+
+// locate resolves key to its slot with consistent line reads and
+// memoizes the result. A torn line re-reads after a backoff (writer
+// windows are finite, so this converges) — locate has no slot-level
+// AM to fall back to, and it runs once per key per thread.
+func (tb *Table) locate(t *core.Thread, key uint64) (slotRef, bool) {
+	if ref, ok := tb.loc[key]; ok {
+		return ref, true
+	}
+	g := tb.g
+	shard := g.shardOf(key)
+	b0 := g.bucketOf(key)
+	for w := int64(0); w < probeWindow; w++ {
+		idx := g.lineIdx(shard, (b0+w)%g.buckets)
+		t.GetBulk(tb.line[:], tb.a.At(idx))
+		for binary.LittleEndian.Uint64(tb.line[:8])&1 == 1 {
+			t.Sleep(rereadBackoff)
+			t.GetBulk(tb.line[:], tb.a.At(idx))
+		}
+		if ref, ok, stop := locateLine(tb.line[:], key, idx); stop {
+			if ok {
+				tb.memoize(key, ref)
+			}
+			return ref, ok
+		}
+	}
+	return slotRef{}, false
+}
+
+// locateC mirrors locate.
+func (tb *Table) locateC(t *core.Thread, key uint64, then func(slotRef, bool)) {
+	if ref, ok := tb.loc[key]; ok {
+		then(ref, true)
+		return
+	}
+	g := tb.g
+	shard := g.shardOf(key)
+	b0 := g.bucketOf(key)
+	var w int64
+	var probe, check func()
+	probe = func() {
+		if w >= probeWindow {
+			then(slotRef{}, false)
+			return
+		}
+		t.GetBulkC(tb.line[:], tb.a.At(g.lineIdx(shard, (b0+w)%g.buckets)), check)
+	}
+	check = func() {
+		idx := g.lineIdx(shard, (b0+w)%g.buckets)
+		if binary.LittleEndian.Uint64(tb.line[:8])&1 == 1 {
+			t.SleepC(rereadBackoff, func() {
+				t.GetBulkC(tb.line[:], tb.a.At(idx), check)
+			})
+			return
+		}
+		if ref, ok, stop := locateLine(tb.line[:], key, idx); stop {
+			if ok {
+				tb.memoize(key, ref)
+			}
+			then(ref, ok)
+			return
+		}
+		w++
+		probe()
+	}
+	probe()
+}
+
+// locateLine scans a consistent line for key's slot: (ref, found,
+// stop), with stop=false meaning the probe must continue.
+func locateLine(line []byte, key uint64, idx int64) (slotRef, bool, bool) {
+	for s := 0; s < slotsPerBucket; s++ {
+		k := binary.LittleEndian.Uint64(line[8+16*s:])
+		if k == key {
+			return slotRef{idx, s}, true, true
+		}
+		if k == emptyKey {
+			return slotRef{}, false, true
+		}
+	}
+	return slotRef{}, false, false
+}
+
+func (tb *Table) memoize(key uint64, ref slotRef) {
+	if tb.loc == nil {
+		tb.loc = make(map[uint64]slotRef)
+	}
+	tb.loc[key] = ref
 }
 
 // --- Home-node AM handlers ----------------------------------------------

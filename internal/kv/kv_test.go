@@ -1,6 +1,7 @@
 package kv
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -21,6 +22,15 @@ func testConfig(exec core.ExecMode, cc core.CacheConfig) core.Config {
 	return core.Config{Threads: 8, Nodes: 4, Profile: transport.GM(), Cache: cc, Seed: 42, Exec: exec}
 }
 
+func mustZipf(t *testing.T, n int64, theta float64) *Zipf {
+	t.Helper()
+	z, err := NewZipf(n, theta)
+	if err != nil {
+		t.Fatalf("NewZipf: %v", err)
+	}
+	return z
+}
+
 // runGoroutine runs preload + load in goroutine mode and returns the
 // run stats plus the merged generator result.
 func runGoroutine(t *testing.T, cfg core.Config, o Options, w Workload) (core.RunStats, ThreadResult) {
@@ -29,7 +39,7 @@ func runGoroutine(t *testing.T, cfg core.Config, o Options, w Workload) (core.Ru
 	if err != nil {
 		t.Fatalf("NewRuntime: %v", err)
 	}
-	z := NewZipf(w.NumKeys, w.Theta)
+	z := mustZipf(t, w.NumKeys, w.Theta)
 	results := make([]ThreadResult, cfg.Threads)
 	st, err := rt.Run(func(th *core.Thread) {
 		tb := New(th, o)
@@ -50,7 +60,7 @@ func runCont(t *testing.T, cfg core.Config, o Options, w Workload) (core.RunStat
 	if err != nil {
 		t.Fatalf("NewRuntime: %v", err)
 	}
-	z := NewZipf(w.NumKeys, w.Theta)
+	z := mustZipf(t, w.NumKeys, w.Theta)
 	results := make([]ThreadResult, cfg.Threads)
 	st, err := rt.RunCont(func(th *core.Thread, done func()) {
 		NewC(th, o, func(tb *Table) {
@@ -275,7 +285,7 @@ func TestPutDeleteGet(t *testing.T) {
 func TestZipfShape(t *testing.T) {
 	const n, draws = 100, 20000
 	rng := rand.New(rand.NewSource(1))
-	z := NewZipf(n, 0.99)
+	z := mustZipf(t, n, 0.99)
 	counts := make([]int, n+1)
 	for i := 0; i < draws; i++ {
 		r := z.Next(rng)
@@ -287,7 +297,7 @@ func TestZipfShape(t *testing.T) {
 	if counts[1] < draws/10 {
 		t.Fatalf("theta=0.99: rank 1 drawn %d/%d times, want heavy head", counts[1], draws)
 	}
-	u := NewZipf(n, 0)
+	u := mustZipf(t, n, 0)
 	uc := make([]int, n+1)
 	for i := 0; i < draws; i++ {
 		r := u.Next(rng)
@@ -335,15 +345,17 @@ func TestWorkloadValidate(t *testing.T) {
 	}
 }
 
-// TestQuantile checks the histogram quantile walks buckets correctly.
+// TestQuantile checks the histogram quantile walks buckets correctly
+// and that every q — including the edges — follows the single
+// bucket-midpoint convention (no separate LatMax path).
 func TestQuantile(t *testing.T) {
 	var r ThreadResult
 	if r.Quantile(0.5) != 0 {
 		t.Fatal("empty histogram quantile not 0")
 	}
-	r.Hist[10] = 90 // [512, 1024) ps
-	r.Hist[20] = 10 // [512k, 1M) ps
-	r.LatMax = 1 << 20
+	r.Hist[10] = 90      // [512, 1024) ps
+	r.Hist[20] = 10      // [512k, 1M) ps
+	r.LatMax = 123456789 // deliberately not a bucket midpoint
 	p50 := r.Quantile(0.50)
 	p99 := r.Quantile(0.99)
 	if p50 < 512 || p50 >= 1024 {
@@ -351,5 +363,201 @@ func TestQuantile(t *testing.T) {
 	}
 	if p99 < 512<<10 || p99 >= 1<<20 {
 		t.Fatalf("p99 = %d, want within bucket 20", p99)
+	}
+	// Edge conventions: q>=1 clamps to the last sample and lands in the
+	// last populated bucket — same figure as any q inside it, never
+	// LatMax. q<=0 clamps to the first sample.
+	if got := r.Quantile(1.0); got != p99 {
+		t.Fatalf("Quantile(1.0) = %d, want bucket midpoint %d", got, p99)
+	}
+	if got := r.Quantile(2.0); got != p99 {
+		t.Fatalf("Quantile(2.0) = %d, want bucket midpoint %d", got, p99)
+	}
+	if got := r.Quantile(0); got != p50 {
+		t.Fatalf("Quantile(0) = %d, want first-bucket midpoint %d", got, p50)
+	}
+	if got := r.Quantile(-0.5); got != p50 {
+		t.Fatalf("Quantile(-0.5) = %d, want first-bucket midpoint %d", got, p50)
+	}
+	// Zero-latency samples report exactly 0 under the same convention.
+	var z ThreadResult
+	z.Hist[0] = 4
+	if z.Quantile(0.5) != 0 {
+		t.Fatal("bucket-0 quantile not 0")
+	}
+}
+
+// TestMergeOrderInvariance: the merged checksum is salted by thread
+// id, not slice position, so any permutation of the per-thread
+// results merges to the same digest.
+func TestMergeOrderInvariance(t *testing.T) {
+	rs := make([]ThreadResult, 8)
+	rng := rand.New(rand.NewSource(99))
+	for i := range rs {
+		rs[i] = ThreadResult{Thread: i, Ops: int64(i + 1), Checksum: rng.Uint64()}
+	}
+	want := Merge(rs)
+	shuffled := append([]ThreadResult(nil), rs...)
+	for trial := 0; trial < 10; trial++ {
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := Merge(shuffled)
+		if got.Checksum != want.Checksum || got.Ops != want.Ops {
+			t.Fatalf("shuffled merge diverged: %+v vs %+v", got, want)
+		}
+	}
+	// Distinct threads must still produce distinct digests (the salt is
+	// not a no-op).
+	rs[0].Thread, rs[1].Thread = rs[1].Thread, rs[0].Thread
+	if Merge(rs).Checksum == want.Checksum {
+		t.Fatal("swapping thread ids left the merged checksum unchanged")
+	}
+}
+
+// TestPreloadContents: the O(keys)-total partitioned preload must
+// install exactly the contents the old per-thread skip-scan did —
+// every key in [1, NumKeys] present with its stamp-0 value, counts
+// matching a brute-force ownership recount.
+func TestPreloadContents(t *testing.T) {
+	const numKeys = 256
+	cfg := core.Config{Threads: 8, Nodes: 4, Profile: transport.GM(), Cache: core.DefaultCache(), Seed: 11}
+	rt, err := core.NewRuntime(cfg)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	counts := make([]int64, cfg.Threads)
+	_, err = rt.Run(func(th *core.Thread) {
+		tb := New(th, Options{Name: "pre", NumKeys: numKeys})
+		counts[th.ID()] = Preload(th, tb, numKeys)
+		if th.ID() == 0 {
+			for k := uint64(1); k <= numKeys; k++ {
+				v, ok := tb.Get(th, k)
+				if !ok || v != encodeValue(k, 0) {
+					panic(fmt.Sprintf("preloaded key %d: got (%#x, %v), want (%#x, true)", k, v, ok, encodeValue(k, 0)))
+				}
+			}
+		}
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g := normalize(&Options{Name: "pre", NumKeys: numKeys}, cfg.Threads)
+	var total int64
+	for tid := 0; tid < cfg.Threads; tid++ {
+		var want int64
+		for k := uint64(1); k <= numKeys; k++ {
+			if g.shardOf(k) == tid {
+				want++
+			}
+		}
+		if counts[tid] != want {
+			t.Fatalf("thread %d inserted %d keys, brute-force ownership says %d", tid, counts[tid], want)
+		}
+		total += counts[tid]
+	}
+	if total != numKeys {
+		t.Fatalf("preload installed %d keys, want %d", total, numKeys)
+	}
+}
+
+// TestIncr: the FetchAdd-backed increment path returns exact pre-add
+// values, concurrent increments from every thread never lose an
+// update, absent keys report false, and both execution modes agree.
+func TestIncr(t *testing.T) {
+	const numKeys = 64
+	const key, absent, perThread = uint64(7), uint64(numKeys + 100), int64(25)
+	run := func(exec core.ExecMode) (final uint64, incrs, misses int64) {
+		cfg := testConfig(exec, core.DefaultCache())
+		rt, err := core.NewRuntime(cfg)
+		if err != nil {
+			t.Fatalf("NewRuntime: %v", err)
+		}
+		if exec == core.ExecCont {
+			_, err = rt.RunCont(func(th *core.Thread, done func()) {
+				NewC(th, Options{Name: "incr", NumKeys: numKeys}, func(tb *Table) {
+					PreloadC(th, tb, numKeys, func(int64) {
+						var i int64
+						var step func()
+						step = func() {
+							if i < perThread {
+								i++
+								tb.IncrC(th, key, 2, func(_ uint64, ok bool) {
+									if !ok {
+										panic("Incr missed a preloaded key")
+									}
+									step()
+								})
+								return
+							}
+							th.BarrierC(func() {
+								verify := func() {
+									tb.IncrC(th, absent, 1, func(_ uint64, ok bool) {
+										if ok {
+											panic("Incr of absent key reported present")
+										}
+										misses = tb.Stats.Misses
+										th.BarrierC(done)
+									})
+								}
+								if th.ID() != tb.ShardOf(key) {
+									verify()
+									return
+								}
+								tb.GetC(th, key, func(v uint64, ok bool) {
+									if !ok {
+										panic("incremented key vanished")
+									}
+									final = v
+									incrs = tb.Stats.Incrs
+									verify()
+								})
+							})
+						}
+						step()
+					})
+				})
+			})
+		} else {
+			_, err = rt.Run(func(th *core.Thread) {
+				tb := New(th, Options{Name: "incr", NumKeys: numKeys})
+				Preload(th, tb, numKeys)
+				for i := int64(0); i < perThread; i++ {
+					if _, ok := tb.Incr(th, key, 2); !ok {
+						panic("Incr missed a preloaded key")
+					}
+				}
+				th.Barrier()
+				if th.ID() == tb.ShardOf(key) {
+					v, ok := tb.Get(th, key)
+					if !ok {
+						panic("incremented key vanished")
+					}
+					final = v
+					incrs = tb.Stats.Incrs
+				}
+				if _, ok := tb.Incr(th, absent, 1); ok {
+					panic("Incr of absent key reported present")
+				}
+				misses = tb.Stats.Misses
+				th.Barrier()
+			})
+		}
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return
+	}
+	want := encodeValue(key, 0) + uint64(8*perThread)*2
+	for _, exec := range []core.ExecMode{core.ExecGoroutine, core.ExecCont} {
+		final, incrs, misses := run(exec)
+		if final != want {
+			t.Fatalf("exec %v: final value %#x, want %#x (lost updates?)", exec, final, want)
+		}
+		if incrs != perThread {
+			t.Fatalf("exec %v: owner thread counted %d incrs, want %d", exec, incrs, perThread)
+		}
+		if misses == 0 {
+			t.Fatalf("exec %v: absent-key Incr did not count a miss", exec)
+		}
 	}
 }

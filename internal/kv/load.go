@@ -75,6 +75,7 @@ func (w Workload) slo() sim.Time {
 // two runs agree iff they performed the same ops with the same results
 // at the same virtual times.
 type ThreadResult struct {
+	Thread             int // issuing thread id (salts the merged checksum)
 	Ops, Reads, Writes int64
 	Found              int64 // reads that found their key
 	SLOMet             int64 // ops completing within the SLO
@@ -91,12 +92,15 @@ func (r ThreadResult) Availability() float64 {
 	return float64(r.SLOMet) / float64(r.Ops)
 }
 
-// Merge folds per-thread results, slot i holding thread i's, into one.
-// The checksum combination is position-sensitive but order-independent
-// of host scheduling, mirroring the stressmarks' self-verification.
+// Merge folds per-thread results into one. The checksum salt comes
+// from each result's issuing thread id — not its slice position — so
+// the merged digest is invariant under any ordering of rs (a caller
+// collecting results through a channel gets the same figure as one
+// indexing by thread id), while still distinguishing which thread
+// performed which ops.
 func Merge(rs []ThreadResult) ThreadResult {
 	var m ThreadResult
-	for i, r := range rs {
+	for _, r := range rs {
 		m.Ops += r.Ops
 		m.Reads += r.Reads
 		m.Writes += r.Writes
@@ -109,14 +113,17 @@ func Merge(rs []ThreadResult) ThreadResult {
 		for b := range r.Hist {
 			m.Hist[b] += r.Hist[b]
 		}
-		m.Checksum ^= r.Checksum + uint64(i)*0x9E37
+		m.Checksum ^= r.Checksum + uint64(r.Thread)*0x9E37
 	}
 	return m
 }
 
-// Quantile estimates the q-quantile latency from the merged histogram
-// as the geometric midpoint of the bucket holding the q-th sample —
-// order-of-magnitude resolution, like the telemetry quantile table.
+// Quantile estimates the q-quantile latency from the histogram under
+// one convention for every q: clamp the rank into [0, total-1], find
+// the bucket holding that sample, and return bucketMid of it. q<=0
+// lands in the first occupied bucket, q>=1 in the last — there is no
+// separate LatMax path, so Quantile(1) and Quantile(0.999...) agree
+// on the same order-of-magnitude figure.
 func (r ThreadResult) Quantile(q float64) sim.Time {
 	total := int64(0)
 	for _, c := range r.Hist {
@@ -129,17 +136,28 @@ func (r ThreadResult) Quantile(q float64) sim.Time {
 	if rank >= total {
 		rank = total - 1
 	}
+	if rank < 0 {
+		rank = 0
+	}
 	var cum int64
 	for b, c := range r.Hist {
 		cum += c
 		if cum > rank {
-			if b == 0 {
-				return 0
-			}
-			return sim.Time(float64(uint64(1)<<uint(b)) / math.Sqrt2)
+			return bucketMid(b)
 		}
 	}
-	return r.LatMax
+	// Unreachable: cum reaches total, and rank < total.
+	return bucketMid(len(r.Hist) - 1)
+}
+
+// bucketMid is the single latency convention for log2 bucket b: the
+// geometric midpoint 2^b/sqrt(2) of [2^(b-1), 2^b), with bucket 0
+// (exactly-zero latency) reporting 0.
+func bucketMid(b int) sim.Time {
+	if b == 0 {
+		return 0
+	}
+	return sim.Time(float64(uint64(1)<<uint(b)) / math.Sqrt2)
 }
 
 // encodeValue tags a write so readers can verify slot integrity: the
@@ -156,16 +174,36 @@ func checkValue(key, val uint64) {
 	}
 }
 
+// preloadPartition builds (once per run, host-side) the owned-key list
+// of every shard in ascending key order. Before this the preload loop
+// in every thread scanned all NumKeys keys and skipped the ones it did
+// not own — O(keys·threads) host work in total, which dominated setup
+// at large thread counts. The partition is computed by whichever
+// thread asks first and shared through the run-local registry, so the
+// total cost is one O(keys) pass; each thread then walks only its own
+// slice. shardOf is a hash, not an arithmetic stride, so there is no
+// closed form for "my next key" — precomputing the partition is the
+// way to get per-thread work down to O(keys/threads).
+func preloadPartition(t *core.Thread, tb *Table, numKeys int64) [][]uint64 {
+	key := fmt.Sprintf("kv:preload:%s:%d", tb.opts.Name, numKeys)
+	return t.Runtime().RunLocal(key, func() any {
+		part := make([][]uint64, tb.g.threads)
+		for k := uint64(1); k <= uint64(numKeys); k++ {
+			s := tb.g.shardOf(k)
+			part[s] = append(part[s], k)
+		}
+		return part
+	}).([][]uint64)
+}
+
 // Preload collectively installs every key in [1, NumKeys]: each thread
-// inserts the keys its shard owns (all home-local direct writes), and
-// the closing barrier orders the population before any load. Returns
-// this thread's insert count.
+// inserts the keys its shard owns (all home-local direct writes, in
+// ascending key order, exactly as the old skip-scan produced), and the
+// closing barrier orders the population before any load. Returns this
+// thread's insert count.
 func Preload(t *core.Thread, tb *Table, numKeys int64) int64 {
 	var n int64
-	for key := uint64(1); key <= uint64(numKeys); key++ {
-		if tb.g.shardOf(key) != t.ID() {
-			continue
-		}
+	for _, key := range preloadPartition(t, tb, numKeys)[t.ID()] {
 		if !tb.Put(t, key, encodeValue(key, 0)) {
 			panic(fmt.Sprintf("kv: preload overflow inserting key %d — grow BucketsPerShard", key))
 		}
@@ -177,21 +215,15 @@ func Preload(t *core.Thread, tb *Table, numKeys int64) int64 {
 
 // PreloadC mirrors Preload.
 func PreloadC(t *core.Thread, tb *Table, numKeys int64, then func(n int64)) {
+	mine := preloadPartition(t, tb, numKeys)[t.ID()]
 	var n int64
-	key := uint64(1)
 	var step func()
 	step = func() {
-		for ; key <= uint64(numKeys); key++ {
-			if tb.g.shardOf(key) == t.ID() {
-				break
-			}
-		}
-		if key > uint64(numKeys) {
+		if n >= int64(len(mine)) {
 			t.BarrierC(func() { then(n) })
 			return
 		}
-		k := key
-		key++
+		k := mine[n]
 		tb.PutC(t, k, encodeValue(k, 0), func(ok bool) {
 			if !ok {
 				panic(fmt.Sprintf("kv: preload overflow inserting key %d — grow BucketsPerShard", k))
@@ -228,7 +260,7 @@ func RunLoad(t *core.Thread, tb *Table, w Workload, z *Zipf) ThreadResult {
 	tel := t.Runtime().Config().Telemetry
 	interval, slo := w.interval(), w.slo()
 	start := t.Now()
-	var res ThreadResult
+	res := ThreadResult{Thread: t.ID()}
 	h := uint64(fnvOffset)
 	for i := int64(0); i < w.Ops; i++ {
 		issue := t.Now()
@@ -273,7 +305,7 @@ func RunLoadC(t *core.Thread, tb *Table, w Workload, z *Zipf, then func(ThreadRe
 	tel := t.Runtime().Config().Telemetry
 	interval, slo := w.interval(), w.slo()
 	start := t.Now()
-	res := new(ThreadResult)
+	res := &ThreadResult{Thread: t.ID()}
 	h := uint64(fnvOffset)
 	var i int64
 	var iter func()

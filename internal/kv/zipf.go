@@ -27,23 +27,27 @@ type Zipf struct {
 	half  float64 // 0.5^θ
 }
 
-// NewZipf builds the sampler, paying the O(n) ζ(n, θ) sum once.
-func NewZipf(n int64, theta float64) *Zipf {
+// NewZipf builds the sampler, paying the O(n) ζ(n, θ) sum once. Bad
+// parameters come back as an error — never a panic — so CLIs can
+// validate user input at their boundary and report it as a usage
+// failure (xlupc-kv additionally range-checks -thetas before any run
+// starts, so a bad value fails fast instead of mid-sweep).
+func NewZipf(n int64, theta float64) (*Zipf, error) {
 	if n <= 0 {
-		panic("kv: zipf population must be positive")
+		return nil, fmt.Errorf("kv: zipf population %d must be positive", n)
 	}
 	if math.IsNaN(theta) || theta < 0 || theta >= 1 {
-		panic(fmt.Sprintf("kv: zipf theta %v outside [0,1)", theta))
+		return nil, fmt.Errorf("kv: zipf theta %v outside [0,1)", theta)
 	}
 	z := &Zipf{n: n, theta: theta}
 	if theta == 0 {
-		return z
+		return z, nil
 	}
 	z.zetan = zeta(n, theta)
 	z.alpha = 1 / (1 - theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
 	z.half = math.Pow(0.5, theta)
-	return z
+	return z, nil
 }
 
 // Theta reports the sampler's skew.

@@ -87,7 +87,7 @@ type batchMsg struct {
 // dmaFrame is one coalesced doorbell write: several RDMA descriptors
 // delivered to the target DMA engine as a single arrival.
 type dmaFrame struct {
-	ops  []any // *dmaGet / *dmaPut
+	ops  []any // *dmaGet / *dmaPut / *dmaAtomic
 	wire int
 }
 
@@ -259,6 +259,8 @@ func (b *coalBuf) stamp(frame any, flushStart, sent, arrived sim.Time) {
 		case *dmaGet:
 			o.sent, o.arrived = sent, arrived
 		case *dmaPut:
+			o.sent, o.arrived = sent, arrived
+		case *dmaAtomic:
 			o.sent, o.arrived = sent, arrived
 		}
 	}

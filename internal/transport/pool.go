@@ -12,17 +12,19 @@ package transport
 // pool (never corrupts it) — EnableChaos must in any case run before
 // traffic starts.
 type pools struct {
-	msgs  []*Msg
-	gets  []*dmaGet
-	puts  []*dmaPut
-	resps []*dmaResp
+	msgs    []*Msg
+	gets    []*dmaGet
+	puts    []*dmaPut
+	atomics []*dmaAtomic
+	resps   []*dmaResp
 
-	// Continuation-mode initiator state machines (see cont.go). These
-	// hold no injected object, so they are safe to pool even under the
-	// reliable layer.
-	rgets []*rdmaGetOp
-	rputs []*rdmaPutOp
-	ams   []*amSendOp
+	// Continuation-mode initiator state machines (see cont.go and
+	// atomic.go). These hold no injected object, so they are safe to
+	// pool even under the reliable layer.
+	rgets    []*rdmaGetOp
+	rputs    []*rdmaPutOp
+	ratomics []*rdmaAtomicOp
+	ams      []*amSendOp
 }
 
 // Retain marks the message as requeued by its handler: the dispatcher

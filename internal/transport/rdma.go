@@ -288,19 +288,22 @@ type dmaEngine struct {
 	// service chains keep their in-flight state here and step through
 	// pre-bound funcs (built once at engine construction) instead of
 	// allocating a closure per event.
-	curGet   *dmaGet
-	curPut   *dmaPut
-	curResp  *dmaResp
-	respDst  int
-	respWire int
-	t0       sim.Time
+	curGet    *dmaGet
+	curPut    *dmaPut
+	curAtomic *dmaAtomic
+	curResp   *dmaResp
+	respDst   int
+	respWire  int
+	t0        sim.Time
+	w64       [8]byte // atomic RMW staging word (one op in service at a time)
 
-	serveNextFn  func()
-	serveGetFn   func()
-	servePutFn   func()
-	serveRespFn  func()
-	respDoneFn   func(arrive sim.Time)
-	injectRespFn func()
+	serveNextFn   func()
+	serveGetFn    func()
+	servePutFn    func()
+	serveAtomicFn func()
+	serveRespFn   func()
+	respDoneFn    func(arrive sim.Time)
+	injectRespFn  func()
 }
 
 func (m *Machine) startDMAEngine(nd *Node) {
@@ -308,6 +311,7 @@ func (m *Machine) startDMAEngine(nd *Node) {
 	e.serveNextFn = e.serveNext
 	e.serveGetFn = e.serveGet2
 	e.servePutFn = e.servePut2
+	e.serveAtomicFn = e.serveAtomic2
 	e.serveRespFn = e.serveResp2
 	e.respDoneFn = e.respDone
 	e.injectRespFn = e.injectResp
@@ -353,6 +357,8 @@ func (e *dmaEngine) serveNext() {
 		e.serveGet(op)
 	case *dmaPut:
 		e.servePut(op)
+	case *dmaAtomic:
+		e.serveAtomic(op)
 	case *dmaResp:
 		e.serveResp(op)
 	default:
