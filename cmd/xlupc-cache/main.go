@@ -1,11 +1,17 @@
 // Command xlupc-cache runs the address-cache size study of the paper's
 // Figure 8: hit rates of the Pointer and Neighborhood stressmarks as
-// the machine grows, for cache capacities 4, 10 and 100.
+// the machine grows, for cache capacities 4, 10 and 100. It also hosts
+// the two memory-pressure figures: the alloc/free churn storm over the
+// pin-policy ladder (-pressure) and the fixed-vs-adaptive address-cache
+// sizing comparison (-adapt).
 //
 // Usage:
 //
-//	xlupc-cache                       # both panels up to 512-128
+//	xlupc-cache                       # both Figure 8 panels up to 512-128
 //	xlupc-cache -mark pointer -maxthreads 2048
+//	xlupc-cache -pressure             # churn storm, full policy ladder
+//	xlupc-cache -pressure -pin-policy cost -lazy-unpin -pin-budget 0.5
+//	xlupc-cache -adapt                # adaptive cache sizing figure
 package main
 
 import (
@@ -16,37 +22,104 @@ import (
 	"strings"
 
 	"xlupc/internal/bench"
+	"xlupc/internal/mem"
 	hostprof "xlupc/internal/prof"
+	"xlupc/internal/transport"
 )
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xlupc-cache: %v\n", err)
+	os.Exit(2)
+}
 
 func main() {
 	mark := flag.String("mark", "both", "stressmark: pointer, neighborhood or both")
 	maxThreads := flag.Int("maxthreads", 512, "largest thread count of the sweep (paper: 2048)")
 	capsFlag := flag.String("caps", "4,10,100", "comma-separated cache capacities")
+	pressure := flag.Bool("pressure", false, "run the memory-pressure churn storm instead of Figure 8")
+	adapt := flag.Bool("adapt", false, "run the adaptive address-cache sizing figure instead of Figure 8")
+	pinPolicy := flag.String("pin-policy", "all", "pressure ladder rung: all, pin-all, lru, clock or cost")
+	pinBudget := flag.String("pin-budget", "0.34,0.67,1.0", "pressure pin budgets as fractions of the pinned working set")
+	lazyUnpin := flag.Bool("lazy-unpin", false, "add the lazy-unpin registration cache to the selected -pin-policy")
+	rounds := flag.Int("rounds", 0, "churn rounds per pressure run (0 = figure default)")
+	threads := flag.Int("threads", 0, "UPC threads for -pressure/-adapt (0 = figure default)")
+	nodes := flag.Int("nodes", 0, "cluster nodes for -pressure/-adapt (0 = figure default)")
+	execFlag := flag.String("exec", "", "execution mode: goroutine (default) or cont")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical either way")
 	pf := hostprof.Register(nil)
 	flag.Parse()
 	bench.SetParallelism(*parallel)
+	em, err := bench.ParseExec(*execFlag)
+	if err != nil {
+		fatal(err)
+	}
+	bench.SetExec(em)
 	stopProf := pf.MustStart("xlupc-cache")
 	defer stopProf()
 
-	var caps []int
-	for _, c := range strings.Split(*capsFlag, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(c))
+	switch {
+	case *pressure:
+		o := bench.DefaultPressure()
+		o.Fracs, err = bench.ParseFracs("-pin-budget", *pinBudget)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xlupc-cache: bad capacity %q\n", c)
-			os.Exit(2)
+			fatal(err)
 		}
-		caps = append(caps, v)
-	}
-	scales := bench.GMScales(*maxThreads)
-	marks := []string{"pointer", "neighborhood"}
-	if *mark != "both" {
-		marks = []string{*mark}
-	}
-	for _, m := range marks {
-		bench.PrintFig8(os.Stdout, m, scales, caps, *seed)
-		fmt.Println()
+		if *rounds != 0 {
+			if err := bench.ValidatePositive("-rounds", int64(*rounds)); err != nil {
+				fatal(err)
+			}
+			o.Rounds = *rounds
+		}
+		if *threads > 0 || *nodes > 0 {
+			o.Scale = bench.Scale{Threads: *threads, Nodes: *nodes}
+		}
+		if err := bench.ValidateScale(o.Scale.Threads, o.Scale.Nodes); err != nil {
+			fatal(err)
+		}
+		if o.Seed = *seed; *pinPolicy != "all" {
+			v := *pinPolicy
+			if v != "pin-all" {
+				if _, err := mem.ParseEvictor(v); err != nil {
+					fatal(err)
+				}
+			}
+			if *lazyUnpin {
+				v += "+lazy"
+			}
+			o.Variants = []string{v}
+		} else if *lazyUnpin {
+			o.Variants = []string{"lru+lazy", "cost+lazy"}
+		}
+		bench.PrintPressure(os.Stdout, transport.GM(), o)
+	case *adapt:
+		o := bench.DefaultAdapt()
+		if *threads > 0 || *nodes > 0 {
+			o.Scale = bench.Scale{Threads: *threads, Nodes: *nodes}
+		}
+		if err := bench.ValidateScale(o.Scale.Threads, o.Scale.Nodes); err != nil {
+			fatal(err)
+		}
+		o.Seed = *seed
+		bench.PrintAdaptCache(os.Stdout, transport.GM(), o)
+	default:
+		var caps []int
+		for _, c := range strings.Split(*capsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xlupc-cache: bad capacity %q\n", c)
+				os.Exit(2)
+			}
+			caps = append(caps, v)
+		}
+		scales := bench.GMScales(*maxThreads)
+		marks := []string{"pointer", "neighborhood"}
+		if *mark != "both" {
+			marks = []string{*mark}
+		}
+		for _, m := range marks {
+			bench.PrintFig8(os.Stdout, m, scales, caps, *seed)
+			fmt.Println()
+		}
 	}
 }

@@ -1,0 +1,237 @@
+// Adaptive per-peer sizing: instead of one fixed LRU pool, the cache
+// divides a global entry budget into per-target-node shares and
+// re-apportions the shares periodically from observed hit rates — the
+// address-mapping-hardware observation that translation caches should
+// be sized by demonstrated reuse, not by fiat. Peers whose entries keep
+// hitting grow their share; peers that only stream misses shrink to a
+// floor, so a cold scan against one node cannot wash out another
+// node's hot working set.
+package addrcache
+
+import "sort"
+
+// Adaptive sizing defaults.
+const (
+	// DefaultAdaptWindow is how many lookups pass between share
+	// re-apportionments when AdaptiveConfig.Window is zero.
+	DefaultAdaptWindow = 128
+	// DefaultMinPer is the floor share every known peer keeps, so a
+	// peer can always demonstrate reuse and earn its way back up.
+	DefaultMinPer = 1
+)
+
+// AdaptiveConfig enables per-peer adaptive sizing of the address cache.
+type AdaptiveConfig struct {
+	// Budget is the global entry budget shared by all peers (the
+	// adaptive analogue of a fixed Capacity; must be positive).
+	Budget int
+	// Window is the number of lookups between re-apportionments;
+	// 0 means DefaultAdaptWindow.
+	Window int
+	// MinPer is the per-peer floor share; 0 means DefaultMinPer.
+	MinPer int
+}
+
+func (c AdaptiveConfig) effWindow() int {
+	if c.Window <= 0 {
+		return DefaultAdaptWindow
+	}
+	return c.Window
+}
+
+func (c AdaptiveConfig) effMinPer() int {
+	if c.MinPer <= 0 {
+		return DefaultMinPer
+	}
+	return c.MinPer
+}
+
+// adaptState is the bookkeeping behind an adaptive cache: window hit
+// counts, the current share apportionment, and per-peer residency.
+// Peers are kept as a sorted slice so every decision iterates them in
+// a deterministic order.
+type adaptState struct {
+	cfg     AdaptiveConfig
+	peers   []int32 // every target node ever looked up, ascending
+	winHits map[int32]int64
+	share   map[int32]int // current apportionment; absent = floor
+	count   map[int32]int // resident entries per peer
+	looks   int           // lookups since the last re-apportionment
+}
+
+// NewAdaptive returns a cache whose capacity is cfg.Budget, divided
+// into per-peer shares that track observed hit rates. The replacement
+// policy within a share is LRU; seed is accepted for signature parity
+// with New but unused.
+func NewAdaptive(cfg AdaptiveConfig, seed int64) *Cache {
+	c := New(cfg.Budget, LRU, seed)
+	c.adapt = &adaptState{
+		cfg:     cfg,
+		winHits: make(map[int32]int64),
+		share:   make(map[int32]int),
+		count:   make(map[int32]int),
+	}
+	return c
+}
+
+// Adaptive reports whether per-peer adaptive sizing is enabled.
+func (c *Cache) Adaptive() bool { return c.adapt != nil }
+
+// Share reports the peer's current entry share (adaptive caches only).
+func (c *Cache) Share(node int32) int {
+	if c.adapt == nil {
+		return 0
+	}
+	return c.adapt.shareOf(node)
+}
+
+// Resident reports how many cached entries target the peer.
+func (c *Cache) Resident(node int32) int {
+	if c.adapt == nil {
+		return 0
+	}
+	return c.adapt.count[node]
+}
+
+func (a *adaptState) shareOf(node int32) int {
+	if s, ok := a.share[node]; ok {
+		return s
+	}
+	return a.cfg.effMinPer()
+}
+
+// seen registers a peer on first contact, keeping the slice sorted.
+func (a *adaptState) seen(node int32) {
+	i := sort.Search(len(a.peers), func(i int) bool { return a.peers[i] >= node })
+	if i < len(a.peers) && a.peers[i] == node {
+		return
+	}
+	a.peers = append(a.peers, 0)
+	copy(a.peers[i+1:], a.peers[i:])
+	a.peers[i] = node
+}
+
+// note records one lookup's outcome and re-apportions shares when the
+// window closes.
+func (c *Cache) adaptNote(node int32, hit bool) {
+	a := c.adapt
+	a.seen(node)
+	if hit {
+		a.winHits[node]++
+	}
+	a.looks++
+	if a.looks >= a.cfg.effWindow() {
+		c.reapportion()
+	}
+}
+
+// reapportion rebuilds the per-peer shares from the closing window's
+// hit counts: every peer keeps the floor, and the remaining budget is
+// split proportionally to window hits by largest remainder. All ties
+// break deterministically (more hits first, then smaller node id).
+func (c *Cache) reapportion() {
+	a := c.adapt
+	a.looks = 0
+	budget := c.capacity
+	n := len(a.peers)
+	if n == 0 || budget <= 0 {
+		return
+	}
+	minPer := a.cfg.effMinPer()
+	if minPer*n > budget {
+		// Budget can't even cover the floors: hand out floors in id
+		// order until it runs dry.
+		left := budget
+		for _, p := range a.peers {
+			s := minPer
+			if s > left {
+				s = left
+			}
+			a.share[p] = s
+			left -= s
+		}
+	} else {
+		extra := budget - minPer*n
+		var hits int64
+		for _, p := range a.peers {
+			hits += a.winHits[p]
+		}
+		type claim struct {
+			node int32
+			base int
+			rem  int64 // largest-remainder numerator
+		}
+		claims := make([]claim, 0, n)
+		given := 0
+		for _, p := range a.peers {
+			cl := claim{node: p}
+			if hits > 0 {
+				w := a.winHits[p]
+				cl.base = int(int64(extra) * w / hits)
+				cl.rem = int64(extra) * w % hits
+			}
+			given += cl.base
+			claims = append(claims, cl)
+		}
+		// Leftover units (rounding, or a hitless window) go to the
+		// largest remainders, then the most-hit, then the smallest id.
+		sort.SliceStable(claims, func(i, j int) bool {
+			if claims[i].rem != claims[j].rem {
+				return claims[i].rem > claims[j].rem
+			}
+			if a.winHits[claims[i].node] != a.winHits[claims[j].node] {
+				return a.winHits[claims[i].node] > a.winHits[claims[j].node]
+			}
+			return claims[i].node < claims[j].node
+		})
+		for i := range claims {
+			if given < extra {
+				claims[i].base++
+				given++
+			}
+			a.share[claims[i].node] = minPer + claims[i].base
+		}
+	}
+	for p := range a.winHits {
+		delete(a.winHits, p)
+	}
+	c.stats.Resizes++
+}
+
+// adaptEvict frees one slot for an insert targeting node ins: the
+// victim is the LRU entry of the peer most over its share (ties to the
+// smaller id), falling back to the inserting peer's own LRU entry and
+// finally the global tail. Shrunken shares are thus enforced lazily,
+// one insert at a time, with no bulk teardown at re-apportionment.
+func (c *Cache) adaptEvict(ins int32) {
+	a := c.adapt
+	var victimPeer int32
+	over := 0
+	for _, p := range a.peers {
+		if o := a.count[p] - a.shareOf(p); o > over {
+			over, victimPeer = o, p
+		}
+	}
+	var victim *entry
+	if over > 0 {
+		victim = c.lruOf(victimPeer)
+	}
+	if victim == nil && a.count[ins] > 0 {
+		victim = c.lruOf(ins)
+	}
+	if victim == nil {
+		victim = c.tail
+	}
+	c.dropEntry(victim)
+	c.stats.Evictions++
+}
+
+// lruOf returns the least-recently-used entry targeting node, or nil.
+func (c *Cache) lruOf(node int32) *entry {
+	for e := c.tail; e != nil; e = e.prev {
+		if e.key.Node == node {
+			return e
+		}
+	}
+	return nil
+}

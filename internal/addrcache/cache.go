@@ -58,6 +58,7 @@ type Stats struct {
 	Inserts       int64
 	Evictions     int64
 	Invalidations int64 // entries dropped by eager invalidation
+	Resizes       int64 // adaptive share re-apportionments
 }
 
 // Lookups is the total number of Lookup calls.
@@ -106,6 +107,7 @@ type Cache struct {
 	rng      *rand.Rand
 	stats    Stats
 	perKey   map[Key]KeyStats // built on first lookup; value-typed, so updates allocate nothing
+	adapt    *adaptState      // nil = fixed capacity (the default); see adaptive.go
 }
 
 // New returns an empty cache. The seed only matters for RandomEvict.
@@ -172,11 +174,17 @@ func (c *Cache) LookupEpoch(k Key) (mem.Addr, uint32, bool) {
 		c.stats.Misses++
 		ks.Misses++
 		c.perKey[k] = ks
+		if c.adapt != nil {
+			c.adaptNote(k.Node, false)
+		}
 		return 0, 0, false
 	}
 	c.stats.Hits++
 	ks.Hits++
 	c.perKey[k] = ks
+	if c.adapt != nil {
+		c.adaptNote(k.Node, true)
+	}
 	if c.policy == LRU && c.head != e {
 		c.unlink(e)
 		c.pushFront(e)
@@ -222,12 +230,30 @@ func (c *Cache) InsertEpoch(k Key, addr mem.Addr, epoch uint32) {
 		return
 	}
 	if c.capacity > 0 && len(c.m) >= c.capacity {
-		c.evict()
+		if c.adapt != nil {
+			c.adaptEvict(k.Node)
+		} else {
+			c.evict()
+		}
 	}
 	e := &entry{key: k, addr: addr, epoch: epoch}
 	c.m[k] = e
 	c.pushFront(e)
+	if c.adapt != nil {
+		c.adapt.seen(k.Node)
+		c.adapt.count[k.Node]++
+	}
 	c.stats.Inserts++
+}
+
+// dropEntry removes e from the map, the recency list and the adaptive
+// residency counts — the one place every removal path funnels through.
+func (c *Cache) dropEntry(e *entry) {
+	c.unlink(e)
+	delete(c.m, e.key)
+	if c.adapt != nil {
+		c.adapt.count[e.key.Node]--
+	}
 }
 
 func (c *Cache) evict() {
@@ -242,8 +268,7 @@ func (c *Cache) evict() {
 	default:
 		victim = c.tail
 	}
-	c.unlink(victim)
-	delete(c.m, victim.key)
+	c.dropEntry(victim)
 	c.stats.Evictions++
 }
 
@@ -252,8 +277,7 @@ func (c *Cache) evict() {
 // here counts as an invalidation.
 func (c *Cache) Remove(k Key) {
 	if e, ok := c.m[k]; ok {
-		c.unlink(e)
-		delete(c.m, k)
+		c.dropEntry(e)
 		c.stats.Invalidations++
 	}
 }
@@ -268,8 +292,7 @@ func (c *Cache) InvalidateHandle(handle uint64) int {
 	for e := c.head; e != nil; {
 		next := e.next
 		if e.key.Handle == handle {
-			c.unlink(e)
-			delete(c.m, e.key)
+			c.dropEntry(e)
 			n++
 		}
 		e = next
@@ -287,8 +310,7 @@ func (c *Cache) InvalidateNode(node int32) int {
 	for e := c.head; e != nil; {
 		next := e.next
 		if e.key.Node == node {
-			c.unlink(e)
-			delete(c.m, e.key)
+			c.dropEntry(e)
 			n++
 		}
 		e = next

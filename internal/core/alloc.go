@@ -184,7 +184,7 @@ func (ns *nodeState) dropObject(p *sim.Proc, h svd.Handle) {
 		panic(fmt.Sprintf("core: node %d freeing unknown object %v", ns.id, h))
 	}
 	if cb.HasLocal {
-		if cost := ns.tn.Pins.Unpin(cb.LocalBase); cost > 0 {
+		if cost := ns.tn.Pins.Unpin(cb.LocalBase, p.Now()); cost > 0 {
 			p.Sleep(cost)
 		}
 		ns.tn.Mem.Free(cb.LocalBase)

@@ -46,6 +46,11 @@ type CacheConfig struct {
 	Policy addrcache.EvictPolicy
 	// PutMode optionally overrides the profile's PUT-caching choice.
 	PutMode PutCacheMode
+	// Adaptive, when non-nil, replaces the fixed Capacity with per-peer
+	// adaptive sizing under Adaptive.Budget total entries (Capacity and
+	// Policy are then ignored). Nil keeps the fixed cache bit-identical
+	// to the baseline.
+	Adaptive *addrcache.AdaptiveConfig
 }
 
 // DefaultCache returns the paper's deployed configuration: enabled,
@@ -156,6 +161,13 @@ type PinConfig struct {
 	// limits when positive; negative removes the limit.
 	MaxTotal     int
 	MaxPerObject int
+	// Evictor selects the PinLimited victim policy; the zero value is
+	// the historical LRU, keeping default runs bit-identical.
+	Evictor mem.EvictorKind
+	// Lazy, when non-nil, enables the lazy-unpin registration cache:
+	// Unpin parks registrations in a bounded dead-list and a re-pin of
+	// a parked region is a free reuse hit. Nil keeps eager dereg.
+	Lazy *mem.LazyConfig
 }
 
 // effectiveProfile applies any Pin override to a copy of the profile.
@@ -165,6 +177,8 @@ func (c *Config) effectiveProfile() *transport.Profile {
 	}
 	p := *c.Profile
 	p.PinPolicy = c.Pin.Policy
+	p.PinEvictor = c.Pin.Evictor
+	p.PinLazy = c.Pin.Lazy
 	switch {
 	case c.Pin.MaxTotal > 0:
 		p.Reg.MaxTotal = c.Pin.MaxTotal

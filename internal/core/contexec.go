@@ -984,3 +984,66 @@ func (t *Thread) AllAllocKindC(kind svd.Kind, name string, numElems int64, elemS
 		closing()
 	})
 }
+
+// FreeC is Thread.Free in continuation-passing style: fence, broadcast
+// the free request, drop the local replica (cache invalidation, unpin,
+// allocator free), then wait for every peer's acknowledgement.
+func (t *Thread) FreeC(a *SharedArray, then func()) {
+	t.FenceC(func() {
+		span := t.rt.tel.StartSpan("free", t.id, t.ns.id, t.Now())
+		acks := sim.NewCounter(t.rt.K, "free-acks", t.rt.cfg.Nodes-1)
+		req := &freeReq{H: a.h, Acks: acks}
+		n := 0
+		sim.Loop(func(next func()) {
+			for n < t.rt.cfg.Nodes && n == t.ns.id {
+				n++
+			}
+			if n == t.rt.cfg.Nodes {
+				t.ns.dropObjectC(t.c, a.h, func() {
+					acks.WaitC(t.c, func() {
+						span.Finish(t.Now())
+						then()
+					})
+				})
+				return
+			}
+			dst := n
+			n++
+			t.rt.M.SendAMSpanC(t.c, t.ns.id, dst, hFreeReq, req, nil, 0, nil, next)
+		})
+	})
+}
+
+// dropObjectC is nodeState.dropObject in continuation-passing style
+// (remote free requests still arrive on proc-based dispatchers and use
+// the blocking twin).
+func (ns *nodeState) dropObjectC(ct *sim.Cont, h svd.Handle, then func()) {
+	afterInval := func() {
+		cb, ok := ns.dir.LookupAny(h)
+		if !ok {
+			panic(fmt.Sprintf("core: node %d freeing unknown object %v", ns.id, h))
+		}
+		finish := func() {
+			ns.dir.MarkFreed(h)
+			then()
+		}
+		if cb.HasLocal {
+			cost := ns.tn.Pins.Unpin(cb.LocalBase, ns.rt.K.Now())
+			ct.Sleep(cost, func() {
+				ns.tn.Mem.Free(cb.LocalBase)
+				finish()
+			})
+			return
+		}
+		finish()
+	}
+	if ns.cache != nil {
+		n := ns.cache.InvalidateHandle(h.Key())
+		ct.Sleep(sim.Time(n)*ns.rt.cfg.Profile.CacheLookupCost, func() {
+			ns.rt.recordCacheInval(ns.id, -1, h.Key(), n)
+			afterInval()
+		})
+		return
+	}
+	afterInval()
+}

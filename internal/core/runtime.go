@@ -9,6 +9,7 @@ import (
 	"xlupc/internal/addrcache"
 	"xlupc/internal/fault"
 	"xlupc/internal/flight"
+	"xlupc/internal/mem"
 	"xlupc/internal/sim"
 	"xlupc/internal/svd"
 	"xlupc/internal/telemetry"
@@ -131,7 +132,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		// RDMA-less transports (BlueGene/L, TCP) the runtime leaves it
 		// off, exactly as a portable deployment would.
 		if cfg.Cache.Enabled && cfg.Profile.SupportsRDMA {
-			ns.cache = addrcache.New(cfg.Cache.Capacity, cfg.Cache.Policy, cfg.Seed+int64(i))
+			if cfg.Cache.Adaptive != nil {
+				ns.cache = addrcache.NewAdaptive(*cfg.Cache.Adaptive, cfg.Seed+int64(i))
+			} else {
+				ns.cache = addrcache.New(cfg.Cache.Capacity, cfg.Cache.Policy, cfg.Seed+int64(i))
+			}
 		}
 		ns.barrier = newNodeBarrier(rt, ns)
 		ns.coll = newCollState()
@@ -306,10 +311,18 @@ type RunStats struct {
 	PinnedPeak   []int    // per node high-water mark of pinned entries
 	Pins         int64    // registrations performed, all nodes
 	Unpins       int64    // explicit deregistrations
-	PinEvictions int64    // limited-pinning LRU deregistrations
+	PinEvictions int64    // limited-pinning evictor deregistrations
 	RegTime      sim.Time // virtual time spent registering memory
 	DeregTime    sim.Time // virtual time spent deregistering memory
 	RDMANacks    int64    // RDMA operations NACKed by a deregistered target
+
+	// Lazy-unpin registration cache and evictor extras (all zero when
+	// Pin leaves the default eager-LRU behaviour).
+	PinReuses    int64 // re-pins served for free from the dead-list
+	PinParked    int64 // lazy unpins that parked instead of deregistering
+	PinReclaims  int64 // parked registrations finally deregistered
+	PinGhostHits int64 // cost-aware evictor ghost-list recognitions
+	PinRepins    int64 // size-mismatched re-pins (dereg + fresh register)
 
 	// Fault injection and reliable delivery (all zero when chaos is off).
 	NetDrops      int64 // packets vanished on the wire
@@ -352,6 +365,7 @@ func (rt *Runtime) stats() RunStats {
 			st.Cache.Inserts += cs.Inserts
 			st.Cache.Evictions += cs.Evictions
 			st.Cache.Invalidations += cs.Invalidations
+			st.Cache.Resizes += cs.Resizes
 		}
 		st.PinnedPeak = append(st.PinnedPeak, ns.tn.Pins.MaxLive)
 		st.Pins += ns.tn.Pins.Pins
@@ -359,6 +373,11 @@ func (rt *Runtime) stats() RunStats {
 		st.PinEvictions += ns.tn.Pins.Evicted
 		st.RegTime += ns.tn.Pins.RegTime
 		st.DeregTime += ns.tn.Pins.DeregTime
+		st.PinReuses += ns.tn.Pins.Reuses
+		st.PinParked += ns.tn.Pins.Parked
+		st.PinReclaims += ns.tn.Pins.Reclaims
+		st.PinGhostHits += ns.tn.Pins.GhostHits
+		st.PinRepins += ns.tn.Pins.Repins
 	}
 	st.RDMANacks = rt.M.NackCount()
 	fs := rt.M.Fab.FaultStats()
@@ -435,6 +454,21 @@ func (rt *Runtime) syncRegistry(st RunStats) {
 		tel.Add("xlupc_crash_parked_retx_total", "", st.ParkedRetx)
 		tel.Add("xlupc_crash_recovered_total", "", st.Recovered)
 		tel.Set("xlupc_crash_recovery_seconds", "", st.RecoveryTime.Secs())
+	}
+	// Lazy-unpin and evictor extras only exist when the Pin config opts
+	// into them, so exporter output for default-policy runs stays
+	// identical.
+	if rt.cfg.Pin != nil && (rt.cfg.Pin.Lazy != nil || rt.cfg.Pin.Evictor != mem.EvictLRU) {
+		tel.Add("xlupc_pin_reuses_total", "", st.PinReuses)
+		tel.Add("xlupc_pin_parked_total", "", st.PinParked)
+		tel.Add("xlupc_pin_reclaims_total", "", st.PinReclaims)
+		tel.Add("xlupc_pin_ghost_hits_total", "", st.PinGhostHits)
+		tel.Add("xlupc_pin_repins_total", "", st.PinRepins)
+	}
+	// Adaptive cache re-apportionments likewise appear only when the
+	// cache runs in adaptive mode.
+	if rt.cfg.Cache.Adaptive != nil {
+		tel.Add("xlupc_addrcache_resizes_total", "", st.Cache.Resizes)
 	}
 	// Atomic aggregates likewise only exist once an atomic was issued
 	// (the per-op xlupc_atomic_ops_total counters appear at issue time),

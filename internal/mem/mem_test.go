@@ -260,14 +260,14 @@ func TestUnpin(t *testing.T) {
 	if _, err := pt.Pin(0x1000, PageSize, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	cost := pt.Unpin(0x1000)
+	cost := pt.Unpin(0x1000, 0)
 	if cost != testModel().DeregCost(PageSize) {
 		t.Fatalf("unpin cost %v", cost)
 	}
 	if pt.IsPinned(0x1000) || pt.TotalPinned() != 0 {
 		t.Fatal("unpin did not remove entry")
 	}
-	if pt.Unpin(0x1000) != 0 {
+	if pt.Unpin(0x1000, 0) != 0 {
 		t.Fatal("unpin of unpinned region should be free")
 	}
 }
@@ -375,11 +375,11 @@ func TestPinTimeAccounting(t *testing.T) {
 	if _, err := pt.Pin(0x1000, 2*PageSize, 0, 5); err != nil || pt.RegTime != c1 {
 		t.Fatalf("re-pin changed RegTime to %v", pt.RegTime)
 	}
-	dc := pt.Unpin(0x1000)
+	dc := pt.Unpin(0x1000, 0)
 	if dc == 0 || pt.DeregTime != dc {
 		t.Fatalf("DeregTime = %v, want %v", pt.DeregTime, dc)
 	}
-	if pt.Unpin(0x1000) != 0 || pt.DeregTime != dc {
+	if pt.Unpin(0x1000, 0) != 0 || pt.DeregTime != dc {
 		t.Fatalf("double unpin accrued time: %v", pt.DeregTime)
 	}
 }

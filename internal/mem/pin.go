@@ -49,6 +49,14 @@ type PinEntry struct {
 	Tag     uint64 // owner tag (the shared object's handle key)
 	LastUse sim.Time
 	seq     int64 // insertion order, for deterministic LRU ties
+
+	// Intrusive links: owned by exactly one list at a time — the
+	// evictor's recency/insertion list while live, the table's
+	// dead-list while parked under lazy unpinning.
+	prev, next *PinEntry
+	ref        bool // CLOCK reference bit
+	protected  bool // cost-aware ghost-list protection
+	parked     bool // in the dead-list: registered but logically freed
 }
 
 // ErrPinLimit is returned when a pin request cannot be satisfied
@@ -74,8 +82,9 @@ const (
 	// handle (falling back to the non-RDMA path).
 	PinAll PinPolicy = iota
 	// PinLimited is the "more elaborated technique" of [10]: when the
-	// total limit would be exceeded, least-recently-used pinned
-	// regions are deregistered (at deregistration cost) to make room.
+	// total limit would be exceeded, pinned regions chosen by the
+	// table's Evictor (LRU by default) are deregistered — at
+	// deregistration cost — to make room.
 	PinLimited
 )
 
@@ -86,20 +95,58 @@ func (p PinPolicy) String() string {
 	return "pin-all"
 }
 
+// DefaultLazyEntries bounds the lazy-unpin dead-list when LazyConfig
+// leaves MaxEntries at zero.
+const DefaultLazyEntries = 64
+
+// LazyConfig enables the lazy-unpin registration cache: Unpin parks the
+// registration in a bounded dead-list instead of deregistering, a
+// re-pin of a parked region revives it for free, and the real
+// deregistration cost is paid only when the dead-list overflows or the
+// pin budget needs the room.
+type LazyConfig struct {
+	// MaxEntries bounds the dead-list population; 0 means
+	// DefaultLazyEntries, negative means unbounded.
+	MaxEntries int
+	// MaxBytes bounds the parked bytes; 0 or negative means unbounded
+	// (parked bytes still count against the table's MaxTotal, so the
+	// pin budget itself is never exceeded).
+	MaxBytes int
+}
+
+func (c LazyConfig) effEntries() int {
+	if c.MaxEntries == 0 {
+		return DefaultLazyEntries
+	}
+	return c.MaxEntries
+}
+
 // PinTable is a node's pinned address table.
 type PinTable struct {
 	node    int
 	model   CostModel
 	policy  PinPolicy
 	entries map[Addr]*PinEntry
-	total   int
+	total   int // pinned bytes, live and parked: what the NIC holds registered
 	seq     int64
+	ev      Evictor
 	fr      *flight.Recorder // nil = no flight recording
+
+	// Lazy-unpin registration cache (nil = eager dereg, the default).
+	lazy      *LazyConfig
+	dead      map[Addr]*PinEntry
+	deadList  pinList // FIFO: head = parked longest ago
+	deadBytes int
 
 	// Counters.
 	Pins      int64
 	Unpins    int64
-	Evicted   int64    // PinLimited-policy deregistrations
+	Evicted   int64    // PinLimited-policy deregistrations of live regions
+	Reuses    int64    // re-pins served for free from the dead-list
+	Parked    int64    // lazy unpins that parked instead of deregistering
+	Reclaims  int64    // parked registrations finally deregistered
+	GhostHits int64    // cost-aware policy: evicted bases that came back
+	Repins    int64    // size-mismatched re-pins (dereg + fresh register)
 	MaxLive   int      // high-water mark of simultaneously pinned entries
 	RegTime   sim.Time // virtual time charged for registrations
 	DeregTime sim.Time // virtual time charged for deregistrations (incl. evictions)
@@ -107,29 +154,67 @@ type PinTable struct {
 
 // NewPinTable returns an empty pinned address table for node.
 func NewPinTable(node int, model CostModel, policy PinPolicy) *PinTable {
-	return &PinTable{node: node, model: model, policy: policy, entries: make(map[Addr]*PinEntry)}
+	return &PinTable{
+		node: node, model: model, policy: policy,
+		entries: make(map[Addr]*PinEntry),
+		ev:      NewLRUEvictor(),
+	}
 }
 
 // Policy returns the table's pinning policy.
 func (t *PinTable) Policy() PinPolicy { return t.policy }
 
+// EvictorName returns the active victim policy's identifier.
+func (t *PinTable) EvictorName() string { return t.ev.Name() }
+
+// SetEvictor replaces the victim policy. It must be called before any
+// region is pinned — swapping policies mid-run would lose the evictor's
+// view of the live set.
+func (t *PinTable) SetEvictor(ev Evictor) {
+	if len(t.entries) > 0 || t.deadList.len > 0 {
+		panic("mem: SetEvictor on a non-empty pin table")
+	}
+	t.ev = ev
+}
+
+// SetLazyUnpin enables (or, with nil, disables) the lazy-unpin
+// registration cache. Like SetEvictor it must precede any pin traffic.
+func (t *PinTable) SetLazyUnpin(cfg *LazyConfig) {
+	if len(t.entries) > 0 || t.deadList.len > 0 {
+		panic("mem: SetLazyUnpin on a non-empty pin table")
+	}
+	t.lazy = cfg
+	if cfg != nil && t.dead == nil {
+		t.dead = make(map[Addr]*PinEntry)
+	}
+}
+
+// LazyUnpin reports whether the lazy-unpin dead-list is enabled.
+func (t *PinTable) LazyUnpin() bool { return t.lazy != nil }
+
 // SetFlightRecorder attaches (or, with nil, detaches) a flight
-// recorder; LRU evictions are recorded on the owning node's ring.
+// recorder; evictions, parks and reuse hits are recorded on the owning
+// node's ring.
 func (t *PinTable) SetFlightRecorder(fr *flight.Recorder) { t.fr = fr }
 
-// TotalPinned reports the total pinned bytes.
+// TotalPinned reports the total registered bytes, live plus parked.
 func (t *PinTable) TotalPinned() int { return t.total }
 
-// Live reports the number of pinned regions.
+// Live reports the number of live (pinned, not parked) regions.
 func (t *PinTable) Live() int { return len(t.entries) }
 
-// IsPinned reports whether the region based at base is pinned.
+// Dead reports the number of parked registrations in the dead-list.
+func (t *PinTable) Dead() int { return t.deadList.len }
+
+// IsPinned reports whether the region based at base is live-pinned.
+// Parked regions are not pinned: they fail TouchOK like any other
+// deregistered region until a re-pin revives them.
 func (t *PinTable) IsPinned(base Addr) bool {
 	_, ok := t.entries[base]
 	return ok
 }
 
-// Touch records an RDMA use of the region at base (for LRU) at time
+// Touch records an RDMA use of the region at base (for recency) at time
 // now. Touching an unpinned region is a protocol bug and panics: it
 // means an RDMA operation targeted unregistered memory.
 func (t *PinTable) Touch(base Addr, now sim.Time) {
@@ -147,45 +232,86 @@ func (t *PinTable) TouchOK(base Addr, now sim.Time) bool {
 		return false
 	}
 	e.LastUse = now
+	t.ev.Touch(e)
 	return true
 }
 
 // Pin registers the region [base, base+size) tagged with the owning
 // object's handle key at time now, and returns the virtual-time cost
-// the caller must charge (registration plus any evictions). Pinning an
-// already-pinned region is free and costless.
+// the caller must charge (registration plus any deregistrations).
+// Pinning an already-pinned region at its current size is free and
+// costless; a size mismatch deregisters the stale handle and registers
+// the region afresh (both costs charged). Under lazy unpinning a
+// re-pin of a parked region revives the retained registration for
+// free.
 //
 // Per-object limits fail regardless of policy (the caller falls back
 // to non-RDMA transfer, as XLUPC does for over-large LAPI handles).
-// Total limits fail under PinAll and trigger LRU deregistration under
-// PinLimited.
+// Total limits fail under PinAll and trigger evictor-chosen
+// deregistration under PinLimited; parked registrations are always
+// reclaimed before live ones are sacrificed.
 func (t *PinTable) Pin(base Addr, size int, tag uint64, now sim.Time) (sim.Time, error) {
+	cost := sim.Time(0)
 	if e, ok := t.entries[base]; ok {
-		e.LastUse = now
-		return 0, nil
+		if e.Size == size {
+			e.LastUse = now
+			t.ev.Touch(e)
+			return 0, nil
+		}
+		// Size mismatch: the NIC handle covers the wrong extent. The
+		// old registration is torn down and the fall-through below
+		// registers the region at its real size.
+		t.ev.Remove(e)
+		delete(t.entries, base)
+		t.total -= e.Size
+		dc := t.model.DeregCost(e.Size)
+		cost += dc
+		t.DeregTime += dc
+		t.Repins++
+	} else if t.lazy != nil {
+		if e, ok := t.dead[base]; ok {
+			if e.Size == size {
+				return 0, t.revive(e, tag, now)
+			}
+			// Parked at the wrong size: worthless, reclaim it now.
+			cost += t.reclaim(e)
+		}
 	}
 	if t.model.MaxPerObject > 0 && size > t.model.MaxPerObject {
-		return 0, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds per-object registration limit", Limit: t.model.MaxPerObject}
+		return cost, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds per-object registration limit", Limit: t.model.MaxPerObject}
 	}
-	cost := sim.Time(0)
 	if t.model.MaxTotal > 0 && t.total+size > t.model.MaxTotal {
-		if t.policy == PinAll {
-			return 0, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds total DMAable memory", Limit: t.model.MaxTotal}
+		// Parked registrations are dead weight: reclaim them (oldest
+		// first) before failing or touching live regions.
+		for t.total+size > t.model.MaxTotal && t.deadList.head != nil {
+			cost += t.reclaim(t.deadList.head)
+		}
+		if t.total+size > t.model.MaxTotal && t.policy == PinAll {
+			return cost, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds total DMAable memory", Limit: t.model.MaxTotal}
 		}
 		for t.total+size > t.model.MaxTotal {
-			victim := t.lruVictim()
+			victim := t.ev.Victim(now)
 			if victim == nil {
-				// The evictions already performed above are real work the
-				// NIC did — their deregistration time must still be
-				// charged to the caller alongside the error.
-				return cost, &ErrPinLimit{Base: base, Size: size, Reason: "exceeds total DMAable memory even when empty", Limit: t.model.MaxTotal}
+				// Either the table is empty or the evictor is refusing
+				// to sacrifice a protected working set; the caller
+				// degrades this access to the AM path. The
+				// deregistrations already performed above are real work
+				// the NIC did — their time must still be charged to the
+				// caller alongside the error.
+				reason := "exceeds total DMAable memory even when empty"
+				if len(t.entries) > 0 {
+					reason = "exceeds total DMAable memory; resident registrations are protected"
+				}
+				return cost, &ErrPinLimit{Base: base, Size: size, Reason: reason, Limit: t.model.MaxTotal}
 			}
+			t.ev.Remove(victim)
+			delete(t.entries, victim.Base)
+			t.total -= victim.Size
 			dc := t.model.DeregCost(victim.Size)
 			cost += dc
 			t.DeregTime += dc
-			t.total -= victim.Size
-			delete(t.entries, victim.Base)
 			t.Evicted++
+			t.ev.Evicted(victim)
 			t.fr.Record(t.node, flight.Event{
 				T: now, Kind: flight.KindPinEvict, Class: flight.ClassDMA,
 				Src: int32(t.node), Dst: -1, Seq: victim.Tag, Arg: int64(victim.Size),
@@ -193,52 +319,117 @@ func (t *PinTable) Pin(base Addr, size int, tag uint64, now sim.Time) (sim.Time,
 		}
 	}
 	t.seq++
-	t.entries[base] = &PinEntry{Base: base, Size: size, Tag: tag, LastUse: now, seq: t.seq}
+	e := &PinEntry{Base: base, Size: size, Tag: tag, LastUse: now, seq: t.seq}
+	t.entries[base] = e
 	t.total += size
 	t.Pins++
 	if len(t.entries) > t.MaxLive {
 		t.MaxLive = len(t.entries)
+	}
+	if t.ev.Insert(e) {
+		t.GhostHits++
 	}
 	rc := t.model.RegCost(size)
 	t.RegTime += rc
 	return cost + rc, nil
 }
 
-func (t *PinTable) lruVictim() *PinEntry {
-	var victim *PinEntry
-	for _, e := range t.entries {
-		if victim == nil || e.LastUse < victim.LastUse ||
-			(e.LastUse == victim.LastUse && e.seq < victim.seq) {
-			victim = e
-		}
+// revive moves a parked registration back into the live set: the NIC
+// handle never went away, so the re-pin is free.
+func (t *PinTable) revive(e *PinEntry, tag uint64, now sim.Time) error {
+	t.deadList.unlink(e)
+	delete(t.dead, e.Base)
+	t.deadBytes -= e.Size
+	e.parked = false
+	e.Tag = tag
+	e.LastUse = now
+	t.seq++
+	e.seq = t.seq
+	t.entries[e.Base] = e
+	t.Pins++
+	t.Reuses++
+	if len(t.entries) > t.MaxLive {
+		t.MaxLive = len(t.entries)
 	}
-	return victim
+	if t.ev.Insert(e) {
+		t.GhostHits++
+	}
+	t.fr.Record(t.node, flight.Event{
+		T: now, Kind: flight.KindPinReuse, Class: flight.ClassDMA,
+		Src: int32(t.node), Dst: -1, Seq: e.Tag, Arg: int64(e.Size),
+	})
+	return nil
+}
+
+// reclaim finally deregisters a parked entry and returns the cost.
+func (t *PinTable) reclaim(e *PinEntry) sim.Time {
+	t.deadList.unlink(e)
+	delete(t.dead, e.Base)
+	t.deadBytes -= e.Size
+	t.total -= e.Size
+	dc := t.model.DeregCost(e.Size)
+	t.DeregTime += dc
+	t.Reclaims++
+	return dc
 }
 
 // Reset empties the table without charging any virtual time: a node
 // crash loses the NIC's registration state outright — there is no
-// orderly deregistration to pay for. Cumulative counters (Pins, Unpins,
+// orderly deregistration to pay for, and parked registrations vanish
+// just as freely as live ones. Cumulative counters (Pins, Unpins,
 // RegTime, ...) survive, since they describe work the run really did.
-// It returns the number of entries dropped.
+// It returns the number of entries dropped, live plus parked.
 func (t *PinTable) Reset() int {
-	n := len(t.entries)
+	n := len(t.entries) + t.deadList.len
 	t.entries = make(map[Addr]*PinEntry)
 	t.total = 0
+	t.ev.Reset()
+	if t.lazy != nil {
+		t.dead = make(map[Addr]*PinEntry)
+	}
+	t.deadList = pinList{}
+	t.deadBytes = 0
 	return n
 }
 
-// Unpin deregisters the region at base and returns the deregistration
-// cost, or 0 if the region was not pinned (freeing an object that was
-// never remotely accessed).
-func (t *PinTable) Unpin(base Addr) sim.Time {
+// Unpin releases the region at base at time now and returns the
+// deregistration cost the caller must charge, or 0 if the region was
+// not pinned (freeing an object that was never remotely accessed).
+// Under lazy unpinning the registration parks in the dead-list instead
+// and the returned cost covers only any dead-list overflow reclaims.
+func (t *PinTable) Unpin(base Addr, now sim.Time) sim.Time {
 	e, ok := t.entries[base]
 	if !ok {
 		return 0
 	}
+	t.ev.Remove(e)
 	delete(t.entries, base)
-	t.total -= e.Size
 	t.Unpins++
-	dc := t.model.DeregCost(e.Size)
-	t.DeregTime += dc
-	return dc
+	if t.lazy == nil {
+		t.total -= e.Size
+		dc := t.model.DeregCost(e.Size)
+		t.DeregTime += dc
+		return dc
+	}
+	e.parked = true
+	t.dead[base] = e
+	t.deadList.pushBack(e)
+	t.deadBytes += e.Size
+	t.Parked++
+	t.fr.Record(t.node, flight.Event{
+		T: now, Kind: flight.KindPinPark, Class: flight.ClassDMA,
+		Src: int32(t.node), Dst: -1, Seq: e.Tag, Arg: int64(e.Size),
+	})
+	cost := sim.Time(0)
+	if max := t.lazy.effEntries(); max > 0 {
+		for t.deadList.len > max {
+			cost += t.reclaim(t.deadList.head)
+		}
+	}
+	if t.lazy.MaxBytes > 0 {
+		for t.deadBytes > t.lazy.MaxBytes && t.deadList.head != nil {
+			cost += t.reclaim(t.deadList.head)
+		}
+	}
+	return cost
 }

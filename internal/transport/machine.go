@@ -142,6 +142,12 @@ func NewMachine(k *sim.Kernel, prof *Profile, n int) *Machine {
 			Pins: mem.NewPinTable(i, prof.Reg, prof.PinPolicy),
 			CPU:  sim.NewResource(k, fmt.Sprintf("node%d.cpu", i), prof.Cores),
 		}
+		if prof.PinEvictor != mem.EvictLRU {
+			nd.Pins.SetEvictor(prof.PinEvictor.New(prof.Reg))
+		}
+		if prof.PinLazy != nil {
+			nd.Pins.SetLazyUnpin(prof.PinLazy)
+		}
 		if prof.CommOverlap {
 			cap := prof.CommCapacity
 			if cap <= 0 {

@@ -66,6 +66,13 @@ type Profile struct {
 	// Memory registration.
 	Reg       mem.CostModel
 	PinPolicy mem.PinPolicy
+	// PinEvictor selects the pin-table victim policy under PinLimited;
+	// the zero value is the historical LRU.
+	PinEvictor mem.EvictorKind
+	// PinLazy, when non-nil, enables the lazy-unpin registration cache
+	// on every node's pin table. Nil keeps eager deregistration and the
+	// event stream bit-identical to the baseline.
+	PinLazy *mem.LazyConfig
 
 	// PutCacheEnabled reflects the paper's decision to disable the
 	// address cache for PUT operations on LAPI (§4.3).

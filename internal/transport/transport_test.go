@@ -443,7 +443,7 @@ func TestRDMAGetNackUnderLimitedPinning(t *testing.T) {
 	if _, err := target.Pins.Pin(base, 64, 7, 0); err != nil {
 		t.Fatal(err)
 	}
-	target.Pins.Unpin(base) // simulate an eviction
+	target.Pins.Unpin(base, 0) // simulate an eviction
 	k.Spawn("initiator", func(p *sim.Proc) {
 		data, ok := m.RDMAGet(p, 0, 1, base, base, 8)
 		if ok || data != nil {
